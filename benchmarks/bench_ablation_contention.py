@@ -1,0 +1,26 @@
+"""Ablation: the cache-contention model inside MPPM (FOA vs SDC vs Prob).
+
+The paper uses the FOA model and remarks (§2.3) that MPPM is
+independent of the contention model; this ablation quantifies how much
+the choice matters on this reproduction.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import contention_model_ablation
+
+
+def test_ablation_contention_models(benchmark, setup):
+    result = run_once(
+        benchmark, contention_model_ablation, setup, models=("foa", "sdc", "prob"), num_mixes=20
+    )
+    print()
+    print(result.render())
+
+    foa = result.row("foa")
+    # FOA (the paper's choice) must be a reasonable model on this setup.
+    assert foa.stp_error < 0.10
+    # All three models produce finite, sane errors (the pluggability claim).
+    for row in result.rows:
+        assert 0.0 <= row.stp_error < 0.5
+        assert 0.0 <= row.antt_error < 0.6

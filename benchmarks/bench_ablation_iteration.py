@@ -1,0 +1,28 @@
+"""Ablation: the value of MPPM's iterative entanglement modelling.
+
+The paper argues that per-core performance and cache contention are
+tightly entangled and must be solved iteratively.  This benchmark
+compares full MPPM against two stripped-down predictors: a single
+application of the contention model (no iteration, no time-varying
+behaviour) and ignoring contention entirely.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import iteration_ablation
+
+
+def test_ablation_iterative_vs_one_shot(benchmark, setup):
+    result = run_once(benchmark, iteration_ablation, setup, num_mixes=20)
+    print()
+    print(result.render())
+
+    mppm = result.row("MPPM (iterative)")
+    one_shot = result.row("one-shot contention")
+    no_contention = result.row("no contention")
+
+    # Modelling contention at all beats ignoring it, and the full iterative
+    # model is at least as accurate as the one-shot variant.
+    assert mppm.antt_error <= no_contention.antt_error
+    assert mppm.stp_error <= one_shot.stp_error + 0.02
+    assert mppm.slowdown_error <= no_contention.slowdown_error

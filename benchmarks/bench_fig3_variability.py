@@ -1,0 +1,34 @@
+"""Figure 3: variability of STP/ANTT versus the number of workload mixes.
+
+Paper shape: the 95% confidence interval is wide (around 10% for STP
+and 18% for ANTT) with only ~10 random mixes and shrinks substantially
+as more mixes are added (2.6% / 4.5% at 150 mixes) — small random
+samples carry little statistical confidence.
+"""
+
+from conftest import run_once
+
+from repro.experiments.variability import variability_experiment
+
+
+def test_fig3_variability(benchmark, setup):
+    result = run_once(
+        benchmark,
+        variability_experiment,
+        setup,
+        num_cores=4,
+        llc_config=1,
+        max_mixes=60,
+        source="simulation",
+    )
+    print()
+    print(result.render())
+
+    first = result.points[0]
+    last = result.points[-1]
+    # The interval must shrink substantially as mixes are added...
+    assert last.stp_ci_pct < first.stp_ci_pct
+    assert last.antt_ci_pct < first.antt_ci_pct
+    # ...and a handful of mixes must leave a non-trivial uncertainty.
+    assert first.stp_ci_pct > 2.0
+    assert first.antt_ci_pct > first.stp_ci_pct * 0.8

@@ -1,0 +1,59 @@
+"""Figure 7: ranking the six LLC configurations — current practice vs MPPM.
+
+Paper shape: individual current-practice trials (a dozen detailed-
+simulated mixes, random or category-sampled) can rank the six
+configurations poorly (Spearman correlations of 0.5 and below), while
+MPPM over a large mix sample ranks them essentially perfectly
+(1.0 for STP, 0.93 for ANTT).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ranking import ranking_experiment
+
+
+def _check(result):
+    # MPPM ranks the design space close to the reference.  (The paper reports a
+    # perfect 1.0 STP correlation; on this scaled substrate configurations
+    # #1-#4 are nearly tied on average, so adjacent near-ties can swap — see
+    # EXPERIMENTS.md for the discussion.)
+    assert result.mppm_stp_correlation >= 0.7
+    assert result.mppm_antt_correlation >= 0.5
+    # Current practice is unreliable: individual dozen-mix trials rank the
+    # space clearly worse than the large-sample evaluations do.
+    assert min(result.trial_stp_correlations) < 0.8
+    assert result.mppm_stp_correlation >= min(result.trial_stp_correlations)
+    # And no trial is *better* than perfect agreement, sanity of the scale.
+    assert max(result.trial_stp_correlations) <= 1.0 + 1e-9
+
+
+def test_fig7a_random_selection(benchmark, setup):
+    result = run_once(
+        benchmark,
+        ranking_experiment,
+        setup,
+        policy="random",
+        num_trials=12,
+        mixes_per_trial=12,
+        reference_mixes=40,
+        mppm_mixes=200,
+    )
+    print()
+    print(result.render())
+    _check(result)
+
+
+def test_fig7b_category_selection(benchmark, setup):
+    result = run_once(
+        benchmark,
+        ranking_experiment,
+        setup,
+        policy="category",
+        num_trials=12,
+        mixes_per_trial=12,
+        reference_mixes=40,
+        mppm_mixes=200,
+    )
+    print()
+    print(result.render())
+    _check(result)

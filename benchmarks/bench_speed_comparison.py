@@ -1,0 +1,27 @@
+"""Section 4.3: MPPM speed versus detailed simulation.
+
+Paper shape: MPPM evaluates a mix in well under a second and is vastly
+faster than detailed simulation of the same mix; including the one-time
+single-core profiling cost the campaign-level speedup is smaller but
+still large.  (Absolute ratios differ here because the reference
+simulator is itself a scaled-down trace-driven model rather than a
+cycle-accurate x86 simulator — see EXPERIMENTS.md.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.speed import speed_experiment
+
+
+def test_speed_comparison(benchmark, setup):
+    result = run_once(benchmark, speed_experiment, setup, num_cores=8, num_mixes=6)
+    print()
+    print(result.render())
+
+    # MPPM evaluates one mix faster than the detailed reference simulates it.
+    assert result.mppm_seconds_per_mix < result.simulation_seconds_per_mix
+    assert result.speedup_excluding_profiling > 1.0
+    # MPPM stays within the paper's "well under a second per mix" envelope.
+    assert result.mppm_seconds_per_mix < 1.0
+    # The one-time profiling cost is finite and per-benchmark.
+    assert result.profiling_seconds_per_benchmark > 0

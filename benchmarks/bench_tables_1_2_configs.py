@@ -1,0 +1,26 @@
+"""Tables 1 and 2: baseline machine and LLC design space.
+
+Regenerates the two configuration tables of the paper (at paper scale
+and at the scaled-down experiment scale) and sanity-checks the six LLC
+design points.
+"""
+
+from conftest import run_once
+
+from repro.experiments.configurations import configuration_tables
+
+
+def test_tables_1_and_2(benchmark, setup):
+    tables = run_once(benchmark, configuration_tables, setup)
+    print()
+    print(tables.render())
+
+    rows = tables.to_rows()
+    assert len(rows) == 6
+    # Table 2 shape: sizes 512KB/1MB/2MB, associativities 8 and 16.
+    assert [row["size_KB"] for row in rows] == [512, 512, 1024, 1024, 2048, 2048]
+    assert [row["associativity"] for row in rows] == [8, 16, 8, 16, 8, 16]
+    # Latency grows with size and associativity (the design trade-off that
+    # makes the ranking experiment non-trivial).
+    latencies = [row["latency"] for row in rows]
+    assert latencies == [16, 20, 18, 22, 20, 24]

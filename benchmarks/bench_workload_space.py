@@ -1,0 +1,17 @@
+"""Section 1: the workload-space explosion (435 / 35,960 / 30.2M mixes)."""
+
+from conftest import run_once
+
+from repro.experiments.workload_space import workload_space_report
+
+
+def test_workload_space_counts(benchmark, setup):
+    report = run_once(benchmark, workload_space_report, setup)
+    print()
+    print(report.render())
+
+    counts = {row["cores"]: row["possible_mixes"] for row in report.to_rows()}
+    # The paper's §1 numbers for 29 benchmarks.
+    assert counts[2] == 435
+    assert counts[4] == 35_960
+    assert counts[8] > 30_200_000

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark target uses the same process-wide
+:class:`repro.experiments.ExperimentSetup` so that single-core profiles
+and detailed reference simulations are paid for once per session, just
+as a research group would reuse its simulation data across plots.
+
+Each benchmark runs its experiment exactly once (``rounds=1``): the
+experiments are deterministic end-to-end measurements, not micro-kernels
+whose timing noise needs averaging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSetup, default_setup
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """The shared experiment setup (profiles and reference runs are cached)."""
+    return default_setup()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

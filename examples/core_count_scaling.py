@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Core-count scaling study: how does shared-LLC contention grow with cores?
+
+The paper evaluates MPPM on 2, 4, 8 and 16 cores (§4.2).  Because the
+single-core profiles are independent of the number of cores, MPPM can
+sweep the core count at essentially no extra cost: the same profiles
+feed predictions for every machine width.  This example reports mean
+STP, mean ANTT and the slowdown of the most sharing-sensitive benchmark
+(``gamess``) as the core count grows, for two LLC configurations.
+
+Run with::
+
+    python examples/core_count_scaling.py [--mixes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import ExperimentSetup
+from repro.experiments.reporting import format_table
+from repro.workloads import WorkloadMix, sample_mixes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mixes", type=int, default=40, help="mixes per core count")
+    parser.add_argument("--seed", type=int, default=37, help="mix-sampling seed")
+    args = parser.parse_args()
+
+    setup = ExperimentSetup()
+    rows = []
+    for llc_config in (1, 4):
+        for num_cores in (2, 4, 8, 16):
+            machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
+            mixes = sample_mixes(
+                setup.benchmark_names, num_cores, args.mixes, seed=args.seed + num_cores
+            )
+            predictions = [setup.predict(mix, machine) for mix in mixes]
+            gamess_mix = WorkloadMix(
+                programs=("gamess",) + tuple(setup.benchmark_names[:1]) * (num_cores - 1)
+            )
+            gamess_prediction = setup.predict(gamess_mix, machine)
+            rows.append(
+                {
+                    "LLC": f"config #{llc_config}",
+                    "cores": num_cores,
+                    "mean_STP": float(np.mean([p.system_throughput for p in predictions])),
+                    "mean_STP_per_core": float(
+                        np.mean([p.system_throughput / num_cores for p in predictions])
+                    ),
+                    "mean_ANTT": float(
+                        np.mean([p.average_normalized_turnaround_time for p in predictions])
+                    ),
+                    "gamess_slowdown": gamess_prediction.program("gamess").slowdown,
+                }
+            )
+
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Core-count scaling predicted by MPPM over {args.mixes} random mixes per point "
+                "(plus a gamess-centred mix for the per-benchmark view):"
+            ),
+        )
+    )
+    print(
+        "\nExpected shape: per-core throughput and gamess's slowdown both degrade as more"
+        " cores share the LLC, and the larger configuration #4 degrades more slowly."
+    )
+
+
+if __name__ == "__main__":
+    main()

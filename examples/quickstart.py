@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: predict multi-core performance for one workload mix with MPPM.
+
+This example mirrors the paper's Figure 6 case study: the 4-program
+workload consisting of two copies of ``gamess`` together with ``hmmer``
+and ``soplex`` — the worst-STP mix of the paper — is evaluated with
+MPPM, and (optionally, because it is slower) cross-checked against the
+detailed reference simulator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentSetup, WorkloadMix
+
+
+def main() -> None:
+    setup = ExperimentSetup()
+
+    # The workload mix: benchmark names from the SPEC CPU2006-like suite,
+    # one per core; the same program may appear several times.
+    mix = WorkloadMix(programs=("gamess", "gamess", "hmmer", "soplex"))
+    machine = setup.machine(num_cores=mix.num_programs, llc_config=1)
+
+    print("Machine under study:")
+    print(machine.describe())
+    print()
+
+    # MPPM prediction (the one-time single-core profiling of the four
+    # benchmarks happens transparently inside the setup).
+    prediction = setup.predict(mix, machine)
+    print(prediction.describe())
+    print()
+
+    # Cross-check against the detailed reference simulation of the same mix.
+    measurement = setup.simulate(mix, machine)
+    print("Detailed reference simulation of the same mix:")
+    for program in measurement.programs:
+        print(
+            f"  core {program.core}: {program.name:<12s} "
+            f"CPI_MC {program.cpi:6.3f} (slowdown {program.slowdown:4.2f}x)"
+        )
+    print(
+        f"  STP {measurement.system_throughput:.3f}, "
+        f"ANTT {measurement.average_normalized_turnaround_time:.3f}"
+    )
+    print()
+
+    stp_error = abs(prediction.system_throughput - measurement.system_throughput)
+    stp_error /= measurement.system_throughput
+    print(f"MPPM STP prediction error versus detailed simulation: {stp_error:.1%}")
+
+
+if __name__ == "__main__":
+    main()

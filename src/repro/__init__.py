@@ -1,0 +1,76 @@
+"""repro — a reproduction of the Multi-Program Performance Model (MPPM).
+
+MPPM (Van Craeynest & Eeckhout, IISWC 2011) predicts multi-program
+multi-core performance — per-program multi-core CPI, system throughput
+(STP) and average normalized turnaround time (ANTT) — from single-core
+simulation profiles only, using an iterative analytical model of
+shared-cache contention.
+
+The package layers, bottom-up:
+
+* :mod:`repro.config` — machine configurations (Tables 1 and 2),
+* :mod:`repro.workloads` — the synthetic SPEC CPU2006-like benchmark
+  suite, trace generation and multi-program mix sampling,
+* :mod:`repro.caches`, :mod:`repro.cores` — the cache and core timing
+  substrate,
+* :mod:`repro.simulators` — the detailed single-core profiler and the
+  shared-LLC multi-core reference simulator (the CMP$im stand-in),
+* :mod:`repro.profiling` — single-core profiles and their store,
+* :mod:`repro.contention` — FOA and the other Chandra et al. models,
+* :mod:`repro.core` — MPPM itself,
+* :mod:`repro.metrics` — STP/ANTT, errors, confidence intervals,
+  Spearman rank correlation,
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    from repro import quickstart_predict
+    prediction = quickstart_predict(["gamess", "gamess", "hmmer", "soplex"])
+    print(prediction.describe())
+"""
+
+from typing import Optional, Sequence
+
+from repro.core import MPPM, MPPMConfig
+from repro.core.result import MixPrediction
+from repro.config import baseline_machine, llc_design_space, machine_with_llc, scaled
+from repro.workloads import WorkloadMix, spec_cpu2006_like_suite
+from repro.experiments import ExperimentConfig, ExperimentSetup, default_setup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MPPM",
+    "MPPMConfig",
+    "MixPrediction",
+    "WorkloadMix",
+    "baseline_machine",
+    "machine_with_llc",
+    "llc_design_space",
+    "scaled",
+    "spec_cpu2006_like_suite",
+    "ExperimentConfig",
+    "ExperimentSetup",
+    "default_setup",
+    "quickstart_predict",
+    "__version__",
+]
+
+
+def quickstart_predict(
+    programs: Sequence[str],
+    llc_config: int = 1,
+    setup: Optional[ExperimentSetup] = None,
+) -> MixPrediction:
+    """Predict multi-core performance for one workload mix in one call.
+
+    ``programs`` is a list of benchmark names from the SPEC CPU2006-like
+    suite (one per core, repetitions allowed).  The function profiles
+    the required benchmarks on the (scaled) baseline machine with the
+    requested Table 2 LLC configuration — a one-time cost cached in the
+    setup — and runs MPPM on the mix.
+    """
+    setup = setup if setup is not None else ExperimentSetup()
+    mix = WorkloadMix(programs=tuple(programs))
+    machine = setup.machine(num_cores=mix.num_programs, llc_config=llc_config)
+    return setup.predict(mix, machine)

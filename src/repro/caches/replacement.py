@@ -1,0 +1,141 @@
+"""Cache replacement policies.
+
+The paper's machines use LRU everywhere (Table 1), and MPPM's
+contention model assumes LRU stack behaviour, but the simulator keeps
+the policy pluggable: the paper notes in §2.3 that MPPM is independent
+of the replacement/partitioning strategy as long as the contention
+model supports it, and the ablation benchmarks exercise that claim.
+
+A policy operates on one cache set.  The set's resident tags are kept
+by the cache itself; the policy maintains whatever per-set ordering
+metadata it needs and answers "which way should be evicted?".
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class ReplacementError(ValueError):
+    """Raised for invalid replacement-policy operations."""
+
+
+class ReplacementPolicy(ABC):
+    """Interface of a per-set replacement policy.
+
+    The cache calls :meth:`new_set_state` once per set, then
+    :meth:`on_hit` / :meth:`on_fill` on every access and
+    :meth:`victim` when an eviction is needed.  ``state`` is the
+    per-set object returned by :meth:`new_set_state`; ``way`` indexes
+    the set's ways.
+    """
+
+    name: str = "base"
+
+    @abstractmethod
+    def new_set_state(self, associativity: int) -> object:
+        """Create the per-set metadata object."""
+
+    @abstractmethod
+    def on_hit(self, state: object, way: int) -> None:
+        """Update metadata after a hit in ``way``."""
+
+    @abstractmethod
+    def on_fill(self, state: object, way: int) -> None:
+        """Update metadata after filling ``way`` with a new line."""
+
+    @abstractmethod
+    def victim(self, state: object, occupied_ways: List[int]) -> int:
+        """Pick the way to evict; every way is occupied when this is called."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement (the paper's policy)."""
+
+    name = "lru"
+
+    def new_set_state(self, associativity: int) -> List[int]:
+        # Recency order: most recently used first.
+        return []
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: List[int], occupied_ways: List[int]) -> int:
+        if not state:
+            raise ReplacementError("LRU state is empty but an eviction was requested")
+        return state[-1]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement (insertion order, hits do not promote)."""
+
+    name = "fifo"
+
+    def new_set_state(self, associativity: int) -> List[int]:
+        return []
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        # FIFO ignores hits.
+        return None
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: List[int], occupied_ways: List[int]) -> int:
+        if not state:
+            raise ReplacementError("FIFO state is empty but an eviction was requested")
+        return state[-1]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a deterministic per-cache seed."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def new_set_state(self, associativity: int) -> None:
+        return None
+
+    def on_hit(self, state: None, way: int) -> None:
+        return None
+
+    def on_fill(self, state: None, way: int) -> None:
+        return None
+
+    def victim(self, state: None, occupied_ways: List[int]) -> int:
+        if not occupied_ways:
+            raise ReplacementError("no occupied ways to evict from")
+        return occupied_ways[self._rng.randrange(len(occupied_ways))]
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Construct a replacement policy by name (``"lru"``, ``"fifo"``, ``"random"``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ReplacementError(
+            f"unknown replacement policy {name!r}; choices are {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(seed=seed if seed is not None else 0)
+    return cls()

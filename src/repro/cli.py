@@ -1,0 +1,306 @@
+"""Command-line interface to the MPPM reproduction.
+
+The CLI wraps the most common workflows behind one executable
+(``repro-mppm`` after installation, or ``python -m repro.cli``):
+
+``suite``
+    List the synthetic benchmark suite and the MEM/COMP/MIX classes.
+``profile``
+    Print the single-core profile summary of one or more benchmarks.
+``predict``
+    Run MPPM on one workload mix (benchmark names, one per core).
+``compare``
+    Run both MPPM and the detailed reference simulation on one mix and
+    report the prediction errors.
+``rank``
+    Rank the six Table 2 LLC configurations with MPPM over a sample of
+    workload mixes.
+``stress``
+    Scan a sample of mixes with MPPM and report the worst-STP ones.
+
+All commands accept ``--benchmarks``, ``--instructions``, ``--scale``
+and ``--seed`` to control the experiment setup; the defaults match the
+benchmark suite in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, ExperimentSetup
+from repro.experiments.reporting import format_table
+from repro.workloads import WorkloadMix, sample_mixes, small_suite, spec_cpu2006_like_suite
+from repro.workloads.classification import classify_suite
+
+
+def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
+    """Construct the experiment setup shared by all commands."""
+    if args.benchmarks is None or args.benchmarks >= 29:
+        suite = spec_cpu2006_like_suite()
+    else:
+        suite = small_suite(args.benchmarks)
+    config = ExperimentConfig(
+        scale=args.scale,
+        num_instructions=args.instructions,
+        interval_instructions=max(1, args.instructions // 50),
+        seed=args.seed,
+    )
+    return ExperimentSetup(config=config, suite=suite)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks",
+        type=int,
+        default=None,
+        help="restrict the suite to its first N benchmarks (default: all 29)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=200_000,
+        help="trace length per benchmark (default: 200000)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=16, help="cache capacity scaling divisor (default: 16)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global seed (default: 0)")
+    parser.add_argument(
+        "--llc-config",
+        type=int,
+        default=1,
+        choices=range(1, 7),
+        help="Table 2 LLC configuration number (default: 1)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    classes = classify_suite(setup.suite)
+    rows = [
+        {
+            "benchmark": spec.name,
+            "class": classes[spec.name].value,
+            "base_CPI": spec.base_cpi,
+            "mem_refs": spec.mem_ref_fraction,
+            "working_set_lines": spec.working_set_lines,
+            "phases": spec.num_phases,
+        }
+        for spec in setup.suite
+    ]
+    print(format_table(rows, title=f"Benchmark suite ({len(rows)} benchmarks):"))
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    machine = setup.machine(num_cores=1, llc_config=args.llc_config)
+    names = args.names or setup.benchmark_names
+    unknown = [name for name in names if name not in setup.suite]
+    if unknown:
+        print(f"error: unknown benchmarks {unknown}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in names:
+        profile = setup.store.get_profile(setup.suite[name], machine)
+        rows.append(
+            {
+                "benchmark": name,
+                "CPI_SC": profile.cpi,
+                "memory_CPI": profile.memory_cpi,
+                "memory_fraction": profile.memory_cpi_fraction,
+                "LLC_MPKI": profile.llc_misses_per_kilo_instruction,
+                "intervals": profile.num_intervals,
+            }
+        )
+    print(format_table(rows, title=f"Single-core profiles on {machine.name}:"))
+    return 0
+
+
+def _mix_from_args(args: argparse.Namespace, setup: ExperimentSetup) -> Optional[WorkloadMix]:
+    unknown = [name for name in args.programs if name not in setup.suite]
+    if unknown:
+        print(f"error: unknown benchmarks {unknown}", file=sys.stderr)
+        return None
+    return WorkloadMix(programs=tuple(args.programs))
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    mix = _mix_from_args(args, setup)
+    if mix is None:
+        return 2
+    machine = setup.machine(num_cores=mix.num_programs, llc_config=args.llc_config)
+    prediction = setup.predict(mix, machine)
+    print(prediction.describe())
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    mix = _mix_from_args(args, setup)
+    if mix is None:
+        return 2
+    machine = setup.machine(num_cores=mix.num_programs, llc_config=args.llc_config)
+    prediction = setup.predict(mix, machine)
+    measurement = setup.simulate(mix, machine)
+    rows = []
+    for predicted, measured in zip(prediction.programs, measurement.programs):
+        rows.append(
+            {
+                "core": predicted.core,
+                "program": predicted.name,
+                "CPI_SC": predicted.single_core_cpi,
+                "CPI_MC_measured": measured.cpi,
+                "CPI_MC_predicted": predicted.predicted_cpi,
+                "slowdown_measured": measured.slowdown,
+                "slowdown_predicted": predicted.slowdown,
+            }
+        )
+    print(format_table(rows, title=f"MPPM vs detailed simulation for {mix.label()}:"))
+    stp_error = abs(prediction.system_throughput - measurement.system_throughput)
+    stp_error /= measurement.system_throughput
+    antt_error = abs(
+        prediction.average_normalized_turnaround_time
+        - measurement.average_normalized_turnaround_time
+    ) / measurement.average_normalized_turnaround_time
+    print(
+        f"\nSTP : measured {measurement.system_throughput:.3f}, "
+        f"predicted {prediction.system_throughput:.3f} ({stp_error:.1%} error)"
+    )
+    print(
+        f"ANTT: measured {measurement.average_normalized_turnaround_time:.3f}, "
+        f"predicted {prediction.average_normalized_turnaround_time:.3f} ({antt_error:.1%} error)"
+    )
+    return 0
+
+
+def _command_rank(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
+    rows = []
+    for machine in setup.design_space(num_cores=args.cores):
+        predictions = [setup.predict(mix, machine) for mix in mixes]
+        rows.append(
+            {
+                "LLC": machine.name,
+                "avg_STP": float(np.mean([p.system_throughput for p in predictions])),
+                "avg_ANTT": float(
+                    np.mean([p.average_normalized_turnaround_time for p in predictions])
+                ),
+            }
+        )
+    rows.sort(key=lambda row: row["avg_STP"], reverse=True)
+    print(
+        format_table(
+            rows,
+            title=(
+                f"LLC design space ranked by MPPM over {len(mixes)} "
+                f"{args.cores}-program mixes (best first):"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_stress(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    machine = setup.machine(num_cores=args.cores, llc_config=args.llc_config)
+    mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
+    scored = [(setup.predict(mix, machine), mix) for mix in mixes]
+    scored.sort(key=lambda pair: pair[0].system_throughput)
+    rows = []
+    for prediction, mix in scored[: args.worst]:
+        worst_program = max(prediction.programs, key=lambda program: program.slowdown)
+        rows.append(
+            {
+                "mix": mix.label(),
+                "STP": prediction.system_throughput,
+                "ANTT": prediction.average_normalized_turnaround_time,
+                "worst_program": worst_program.name,
+                "worst_slowdown": worst_program.slowdown,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{args.worst} worst mixes (by MPPM STP) out of {len(mixes)} scanned:",
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mppm",
+        description="Multi-Program Performance Model (IISWC 2011) reproduction CLI.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    suite_parser = subparsers.add_parser("suite", help="list the benchmark suite")
+    _add_common_arguments(suite_parser)
+    suite_parser.set_defaults(handler=_command_suite)
+
+    profile_parser = subparsers.add_parser("profile", help="print single-core profiles")
+    _add_common_arguments(profile_parser)
+    profile_parser.add_argument("names", nargs="*", help="benchmarks to profile (default: all)")
+    profile_parser.set_defaults(handler=_command_profile)
+
+    predict_parser = subparsers.add_parser("predict", help="run MPPM on one workload mix")
+    _add_common_arguments(predict_parser)
+    predict_parser.add_argument("programs", nargs="+", help="benchmark names, one per core")
+    predict_parser.set_defaults(handler=_command_predict)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run MPPM and the detailed reference on one mix"
+    )
+    _add_common_arguments(compare_parser)
+    compare_parser.add_argument("programs", nargs="+", help="benchmark names, one per core")
+    compare_parser.set_defaults(handler=_command_compare)
+
+    rank_parser = subparsers.add_parser("rank", help="rank the Table 2 LLC configurations")
+    _add_common_arguments(rank_parser)
+    rank_parser.add_argument("--cores", type=int, default=4, help="programs per mix (default: 4)")
+    rank_parser.add_argument(
+        "--mixes", type=int, default=100, help="number of mixes MPPM evaluates (default: 100)"
+    )
+    rank_parser.set_defaults(handler=_command_rank)
+
+    stress_parser = subparsers.add_parser("stress", help="find worst-case (stress) workload mixes")
+    _add_common_arguments(stress_parser)
+    stress_parser.add_argument("--cores", type=int, default=4, help="programs per mix (default: 4)")
+    stress_parser.add_argument(
+        "--mixes", type=int, default=200, help="number of mixes to scan (default: 200)"
+    )
+    stress_parser.add_argument(
+        "--worst", type=int, default=10, help="how many worst mixes to report (default: 10)"
+    )
+    stress_parser.set_defaults(handler=_command_stress)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

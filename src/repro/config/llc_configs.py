@@ -1,0 +1,81 @@
+"""The paper's baseline machine (Table 1) and LLC design space (Table 2).
+
+Table 2 of the paper lists six shared last-level-cache configurations
+that the design-space experiments of Sections 5 and 6 rank against each
+other:
+
+======== ======= ============== ========
+config    size    associativity  latency
+======== ======= ============== ========
+ #1       512KB        8            16
+ #2       512KB       16            20
+ #3         1MB        8            18
+ #4         1MB       16            22
+ #5         2MB        8            20
+ #6         2MB       16            24
+======== ======= ============== ========
+
+Configuration #1 (the smallest LLC) is the default for accuracy
+experiments "to stress the model"; configuration #4 is used for the
+16-core experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config.cache_config import CacheConfig, KIB, MIB
+from repro.config.machine import MachineConfig
+
+
+def _llc(size_bytes: int, associativity: int, latency: int) -> CacheConfig:
+    return CacheConfig(
+        name="L3",
+        size_bytes=size_bytes,
+        associativity=associativity,
+        latency=latency,
+        shared=True,
+    )
+
+
+#: The six LLC design points of Table 2, keyed by configuration number.
+LLC_CONFIGS: Dict[int, CacheConfig] = {
+    1: _llc(512 * KIB, 8, 16),
+    2: _llc(512 * KIB, 16, 20),
+    3: _llc(1 * MIB, 8, 18),
+    4: _llc(1 * MIB, 16, 22),
+    5: _llc(2 * MIB, 8, 20),
+    6: _llc(2 * MIB, 16, 24),
+}
+
+
+def baseline_machine(num_cores: int = 4, llc_config: int = 1) -> MachineConfig:
+    """The baseline machine of Table 1 with one of Table 2's LLCs.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores (the paper evaluates 2, 4, 8 and 16).
+    llc_config:
+        Which Table 2 configuration to use for the shared L3
+        (1 is the paper's default, 4 is used for 16 cores).
+    """
+    return machine_with_llc(llc_config, num_cores=num_cores)
+
+
+def machine_with_llc(llc_config: int, num_cores: int = 4) -> MachineConfig:
+    """Baseline machine with the given Table 2 LLC configuration."""
+    if llc_config not in LLC_CONFIGS:
+        raise KeyError(
+            f"unknown LLC configuration #{llc_config}; valid choices are {sorted(LLC_CONFIGS)}"
+        )
+    return MachineConfig(
+        num_cores=num_cores,
+        llc=LLC_CONFIGS[llc_config],
+        name=f"config #{llc_config}",
+    )
+
+
+def llc_design_space(num_cores: int = 4) -> List[MachineConfig]:
+    """All six Table 2 machines, in configuration order (#1 .. #6)."""
+    return [machine_with_llc(i, num_cores=num_cores) for i in sorted(LLC_CONFIGS)]

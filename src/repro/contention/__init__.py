@@ -1,0 +1,52 @@
+"""Shared-cache contention models.
+
+MPPM needs, every iteration, an estimate of the *additional conflict
+misses* each program suffers because it shares the LLC with its
+co-runners.  The paper uses the Frequency of Access (FOA) model of
+Chandra et al. (HPCA 2005) and stresses that the contention model is a
+pluggable component (§2.3).  This package therefore defines a small
+interface (:class:`ContentionModel`) and three implementations:
+
+* :class:`FOAModel` — effective cache space proportional to access
+  frequency (the paper's choice and the default),
+* :class:`StackDistanceCompetitionModel` — Chandra et al.'s SDC model,
+  which merges the programs' stack-distance profiles to decide how many
+  ways each program effectively owns,
+* :class:`InductiveProbabilityModel` — a probabilistic model in the
+  spirit of Chandra et al.'s Prob model, estimating the chance that a
+  reused line was evicted by interleaved co-runner accesses.
+
+The latter two are used by the ablation benchmarks.
+"""
+
+from repro.contention.base import ContentionEstimate, ContentionModel, ProgramCacheDemand
+from repro.contention.foa import FOAModel
+from repro.contention.sdc_competition import StackDistanceCompetitionModel
+from repro.contention.prob import InductiveProbabilityModel
+
+__all__ = [
+    "ContentionEstimate",
+    "ContentionModel",
+    "ProgramCacheDemand",
+    "FOAModel",
+    "StackDistanceCompetitionModel",
+    "InductiveProbabilityModel",
+    "make_contention_model",
+]
+
+
+_MODELS = {
+    "foa": FOAModel,
+    "sdc": StackDistanceCompetitionModel,
+    "prob": InductiveProbabilityModel,
+}
+
+
+def make_contention_model(name: str) -> ContentionModel:
+    """Construct a contention model by name (``"foa"``, ``"sdc"``, ``"prob"``)."""
+    try:
+        return _MODELS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown contention model {name!r}; choices are {sorted(_MODELS)}"
+        ) from None

@@ -1,0 +1,111 @@
+"""Interface shared by all cache-contention models.
+
+A contention model answers one question: given the per-program
+stack-distance counters (SDCs) over a window of co-executed
+instructions, how many *additional* LLC misses does each program suffer
+because the cache is shared?  Chandra et al. frame this as predicting
+the shared-cache miss count from per-thread isolated profiles; MPPM
+consumes the difference between that prediction and the isolated miss
+count (the ``C>A`` counter).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.caches.stack_distance import StackDistanceCounters
+from repro.config.cache_config import CacheConfig
+
+
+class ContentionModelError(ValueError):
+    """Raised when a contention model is given inconsistent inputs."""
+
+
+@dataclass(frozen=True)
+class ProgramCacheDemand:
+    """One program's demand on the shared cache over a window.
+
+    Attributes
+    ----------
+    name:
+        Program identifier (benchmark name, or a per-core label when a
+        mix contains several copies of the same benchmark).
+    sdc:
+        The program's stack-distance counters over the window, measured
+        against the shared cache's geometry when running *alone*.
+    instructions:
+        Instructions the program executes in the window (used by models
+        that need rates rather than raw counts).
+    """
+
+    name: str
+    sdc: StackDistanceCounters
+    instructions: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ContentionModelError(
+                f"{self.name}: window instruction count must be positive"
+            )
+
+    @property
+    def accesses(self) -> float:
+        return self.sdc.total_accesses
+
+    @property
+    def isolated_misses(self) -> float:
+        return self.sdc.misses
+
+    @property
+    def isolated_hits(self) -> float:
+        return self.sdc.hits
+
+
+@dataclass(frozen=True)
+class ContentionEstimate:
+    """Per-program outcome of the contention model for one window."""
+
+    name: str
+    isolated_misses: float
+    shared_misses: float
+
+    @property
+    def extra_conflict_misses(self) -> float:
+        """Additional misses due to sharing (never negative)."""
+        return max(0.0, self.shared_misses - self.isolated_misses)
+
+
+class ContentionModel(ABC):
+    """Predicts shared-cache misses from isolated per-program SDCs."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def estimate(
+        self, demands: Sequence[ProgramCacheDemand], llc: CacheConfig
+    ) -> List[ContentionEstimate]:
+        """Estimate shared-LLC misses for each co-running program.
+
+        ``demands`` holds one entry per core; ``llc`` is the shared
+        cache being contended for.  Implementations must return one
+        estimate per demand, in the same order.
+        """
+
+    def estimate_by_name(
+        self, demands: Sequence[ProgramCacheDemand], llc: CacheConfig
+    ) -> Dict[str, ContentionEstimate]:
+        """Convenience wrapper returning a name-keyed dictionary."""
+        return {estimate.name: estimate for estimate in self.estimate(demands, llc)}
+
+    @staticmethod
+    def _validate(demands: Sequence[ProgramCacheDemand], llc: CacheConfig) -> None:
+        if not demands:
+            raise ContentionModelError("at least one program demand is required")
+        for demand in demands:
+            if demand.sdc.associativity != llc.associativity:
+                raise ContentionModelError(
+                    f"{demand.name}: SDC associativity {demand.sdc.associativity} does not "
+                    f"match the shared cache associativity {llc.associativity}"
+                )

@@ -1,0 +1,108 @@
+"""Result types produced by MPPM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MPPMResultError(ValueError):
+    """Raised for inconsistent prediction results."""
+
+
+@dataclass(frozen=True)
+class ProgramPrediction:
+    """MPPM's prediction for one program of a workload mix."""
+
+    name: str
+    core: int
+    single_core_cpi: float
+    predicted_cpi: float
+
+    def __post_init__(self) -> None:
+        if self.single_core_cpi <= 0 or self.predicted_cpi <= 0:
+            raise MPPMResultError(f"{self.name}: CPIs must be positive")
+
+    @property
+    def slowdown(self) -> float:
+        """Predicted slowdown relative to isolated execution (the paper's R_p)."""
+        return self.predicted_cpi / self.single_core_cpi
+
+    @property
+    def normalized_progress(self) -> float:
+        """Predicted per-program progress (CPI_SC / CPI_MC), the STP contribution."""
+        return self.single_core_cpi / self.predicted_cpi
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """State of the iterative process after one iteration (for diagnostics)."""
+
+    iteration: int
+    window_cycles: float
+    slowdowns: Tuple[float, ...]
+    instructions_executed: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class MixPrediction:
+    """MPPM's prediction for one multi-program workload mix."""
+
+    machine_name: str
+    programs: Tuple[ProgramPrediction, ...]
+    iterations: int
+    converged: bool
+    history: Tuple[IterationRecord, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise MPPMResultError("a mix prediction needs at least one program")
+
+    @property
+    def num_programs(self) -> int:
+        return len(self.programs)
+
+    @property
+    def system_throughput(self) -> float:
+        """Predicted STP: sum over programs of CPI_SC / CPI_MC (higher is better)."""
+        return sum(program.normalized_progress for program in self.programs)
+
+    @property
+    def average_normalized_turnaround_time(self) -> float:
+        """Predicted ANTT: mean over programs of CPI_MC / CPI_SC (lower is better)."""
+        return sum(program.slowdown for program in self.programs) / self.num_programs
+
+    @property
+    def slowdowns(self) -> List[float]:
+        return [program.slowdown for program in self.programs]
+
+    @property
+    def predicted_cpis(self) -> List[float]:
+        return [program.predicted_cpi for program in self.programs]
+
+    def program(self, name: str) -> ProgramPrediction:
+        """The first program prediction with the given benchmark name."""
+        for program in self.programs:
+            if program.name == name:
+                return program
+        raise KeyError(f"no program named {name!r} in this prediction")
+
+    def by_core(self) -> Dict[int, ProgramPrediction]:
+        return {program.core: program for program in self.programs}
+
+    def describe(self) -> str:
+        lines = [
+            f"MPPM prediction on {self.machine_name} "
+            f"({self.iterations} iterations, converged={self.converged}):"
+        ]
+        for program in self.programs:
+            lines.append(
+                f"  core {program.core}: {program.name:<12s} "
+                f"CPI_SC {program.single_core_cpi:6.3f} -> CPI_MC {program.predicted_cpi:6.3f} "
+                f"(slowdown {program.slowdown:4.2f}x)"
+            )
+        lines.append(
+            f"  STP {self.system_throughput:.3f}, "
+            f"ANTT {self.average_normalized_turnaround_time:.3f}"
+        )
+        return "\n".join(lines)

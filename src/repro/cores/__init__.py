@@ -1,0 +1,15 @@
+"""Core timing model and CPI-stack accounting.
+
+MPPM never looks inside the core: it consumes the single-core CPI and
+the memory CPI (the paper obtains the latter either from the CPI-stack
+counter architecture of Eyerman et al. or from a perfect-LLC run).
+This package supplies the additive core timing model used by both the
+detailed simulators and the profiler, and the :class:`CPIStack`
+accounting object that splits cycles into base / private-cache /
+LLC-hit / memory components.
+"""
+
+from repro.cores.cpi_stack import CPIStack
+from repro.cores.core_model import CoreTimingModel
+
+__all__ = ["CPIStack", "CoreTimingModel"]

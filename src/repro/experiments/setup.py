@@ -1,0 +1,187 @@
+"""Shared experiment setup: suite, machines, profiles and reference runs.
+
+Every experiment needs the same ingredients — the benchmark suite, the
+(scaled) machine configurations of Tables 1 and 2, the single-core
+profiles on each machine, and detailed multi-core reference simulations
+of workload mixes.  :class:`ExperimentSetup` bundles them behind caches
+so that a whole benchmark session pays each single-core simulation and
+each reference multi-core simulation exactly once, mirroring the
+"one-time cost" structure of the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig, llc_design_space, machine_with_llc, scaled
+from repro.contention.base import ContentionModel
+from repro.core import MPPM, MPPMConfig
+from repro.core.result import MixPrediction
+from repro.profiling import ProfileStore, SingleCoreProfile
+from repro.simulators import LLCAccessTrace, MultiCoreRunResult, MultiCoreSimulator
+from repro.workloads import (
+    BenchmarkClass,
+    BenchmarkSuite,
+    WorkloadMix,
+    classify_suite,
+    spec_cpu2006_like_suite,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    The defaults reproduce the paper's structure at laptop scale:
+    29 benchmarks, 50 profiling intervals per trace and the Table 1/2
+    machines scaled down by 16 (see DESIGN.md).  ``seed`` controls all
+    randomness (trace generation and mix sampling).
+    """
+
+    scale: int = 16
+    num_instructions: int = 200_000
+    interval_instructions: int = 4_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.num_instructions <= 0 or self.interval_instructions <= 0:
+            raise ValueError("instruction counts must be positive")
+        if self.num_instructions % self.interval_instructions != 0:
+            raise ValueError(
+                "num_instructions should be a multiple of interval_instructions "
+                "so every interval has the same length"
+            )
+
+
+class ExperimentSetup:
+    """Caches everything the experiments share.
+
+    Parameters
+    ----------
+    config:
+        Scaling/length/seed parameters.
+    suite:
+        The benchmark suite; defaults to the full 29-benchmark
+        SPEC CPU2006-like suite.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        suite: Optional[BenchmarkSuite] = None,
+    ) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self.suite = suite if suite is not None else spec_cpu2006_like_suite()
+        self.store = ProfileStore(
+            num_instructions=self.config.num_instructions,
+            interval_instructions=self.config.interval_instructions,
+            seed=self.config.seed,
+        )
+        self._reference_cache: Dict[Tuple[Tuple[str, ...], str, int], MultiCoreRunResult] = {}
+        self._prediction_cache: Dict[Tuple[Tuple[str, ...], str, int], MixPrediction] = {}
+        self._profiles_cache: Dict[str, Dict[str, SingleCoreProfile]] = {}
+
+    # ------------------------------------------------------------------
+    # Machines
+    # ------------------------------------------------------------------
+
+    def machine(self, num_cores: int = 4, llc_config: int = 1) -> MachineConfig:
+        """The Table 1 machine with a Table 2 LLC, scaled for the experiments."""
+        return scaled(machine_with_llc(llc_config, num_cores=num_cores), self.config.scale)
+
+    def design_space(self, num_cores: int = 4) -> List[MachineConfig]:
+        """All six Table 2 machines (scaled), in configuration order."""
+        return [scaled(machine, self.config.scale) for machine in llc_design_space(num_cores)]
+
+    # ------------------------------------------------------------------
+    # Benchmarks, profiles, classification
+    # ------------------------------------------------------------------
+
+    @property
+    def benchmark_names(self) -> List[str]:
+        return self.suite.names
+
+    def classification(self) -> Dict[str, BenchmarkClass]:
+        """MEM / COMP / MIX classes used for category-based mix selection."""
+        return classify_suite(self.suite)
+
+    def profiles(self, machine: MachineConfig) -> Dict[str, SingleCoreProfile]:
+        """Single-core profiles of every benchmark on ``machine`` (cached)."""
+        key = machine.profile_key()
+        if key not in self._profiles_cache:
+            self._profiles_cache[key] = {
+                spec.name: self.store.get_profile(spec, machine) for spec in self.suite
+            }
+        return self._profiles_cache[key]
+
+    def llc_traces(self, mix: WorkloadMix, machine: MachineConfig) -> List[LLCAccessTrace]:
+        """The per-program LLC access traces for one mix (cached per benchmark)."""
+        return [self.store.get_llc_trace(self.suite[name], machine) for name in mix.programs]
+
+    # ------------------------------------------------------------------
+    # Model and reference simulation
+    # ------------------------------------------------------------------
+
+    def mppm(
+        self,
+        machine: MachineConfig,
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> MPPM:
+        """An MPPM instance for ``machine``."""
+        return MPPM(machine, contention_model=contention_model, config=mppm_config)
+
+    def predict(
+        self,
+        mix: WorkloadMix,
+        machine: MachineConfig,
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> MixPrediction:
+        """MPPM prediction for one mix on one machine.
+
+        Predictions with the default contention model and configuration
+        are cached (they are deterministic), so experiments that revisit
+        the same mixes — e.g. the ranking and agreement studies — pay
+        for each prediction once.
+        """
+        cacheable = contention_model is None and mppm_config is None
+        key = (mix.programs, machine.profile_key(), machine.num_cores)
+        if cacheable and key in self._prediction_cache:
+            return self._prediction_cache[key]
+        model = self.mppm(machine, contention_model=contention_model, mppm_config=mppm_config)
+        prediction = model.predict_mix(mix, self.profiles(machine))
+        if cacheable:
+            self._prediction_cache[key] = prediction
+        return prediction
+
+    def simulate(self, mix: WorkloadMix, machine: MachineConfig) -> MultiCoreRunResult:
+        """Detailed (reference) multi-core simulation of one mix, cached."""
+        key = (mix.programs, machine.profile_key(), machine.num_cores)
+        cached = self._reference_cache.get(key)
+        if cached is not None:
+            return cached
+        if machine.num_cores != mix.num_programs:
+            machine = machine.with_num_cores(mix.num_programs)
+        result = MultiCoreSimulator(machine).run(self.llc_traces(mix, machine))
+        self._reference_cache[key] = result
+        return result
+
+    def reference_runs(self) -> int:
+        """Number of detailed multi-core simulations performed so far."""
+        return len(self._reference_cache)
+
+
+@functools.lru_cache(maxsize=4)
+def default_setup(seed: int = 0) -> ExperimentSetup:
+    """A process-wide shared setup (used by the benchmark targets).
+
+    Benchmarks for different figures share single-core profiles and
+    reference simulations through this cache, exactly as a research
+    group would reuse its simulation results across plots.
+    """
+    return ExperimentSetup(config=ExperimentConfig(seed=seed))

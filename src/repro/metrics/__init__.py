@@ -1,0 +1,53 @@
+"""Multi-program performance metrics and supporting statistics.
+
+The paper quantifies multi-core performance with two system-level
+metrics (Eyerman & Eeckhout, IEEE Micro 2008):
+
+* **STP** (system throughput, a.k.a. weighted speedup) — the summed
+  per-program progress ``sum_p CPI_SC,p / CPI_MC,p``; higher is better.
+* **ANTT** (average normalized turnaround time) — the average
+  per-program slowdown ``mean_p CPI_MC,p / CPI_SC,p``; lower is better.
+
+The statistics module provides the 95% confidence intervals used in the
+variability study (Figure 3), the Spearman rank correlation used to
+compare design-space rankings (Figure 7), and the prediction-error
+metrics used throughout Section 4.
+"""
+
+from repro.metrics.throughput import (
+    MixPerformance,
+    antt,
+    per_program_slowdowns,
+    stp,
+    mix_performance_from_cpis,
+)
+from repro.metrics.errors import (
+    absolute_relative_error,
+    mean_absolute_relative_error,
+    prediction_errors,
+)
+from repro.metrics.statistics import (
+    ConfidenceInterval,
+    confidence_interval,
+    mean_confidence_halfwidth_pct,
+    spearman_rank_correlation,
+    rank_of,
+    bootstrap_confidence_interval,
+)
+
+__all__ = [
+    "MixPerformance",
+    "stp",
+    "antt",
+    "per_program_slowdowns",
+    "mix_performance_from_cpis",
+    "absolute_relative_error",
+    "mean_absolute_relative_error",
+    "prediction_errors",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "mean_confidence_halfwidth_pct",
+    "spearman_rank_correlation",
+    "rank_of",
+    "bootstrap_confidence_interval",
+]

@@ -1,0 +1,108 @@
+"""STP, ANTT and per-program slowdowns.
+
+These are the two metrics of the paper's Section 3:
+
+.. math::
+
+    STP  = \\sum_{p=1}^{n} \\frac{CPI_{SC,p}}{CPI_{MC,p}}
+    \\qquad
+    ANTT = \\frac{1}{n} \\sum_{p=1}^{n} \\frac{CPI_{MC,p}}{CPI_{SC,p}}
+
+STP equals the weighted speedup of Snavely & Tullsen and is
+higher-is-better; ANTT is the reciprocal of Luo et al.'s hmean metric
+and is lower-is-better.  Both are computed from per-program single-core
+and multi-core CPIs, regardless of whether the multi-core CPIs come
+from detailed simulation or from MPPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric inputs."""
+
+
+def _validate(single_core_cpis: Sequence[float], multi_core_cpis: Sequence[float]) -> None:
+    if len(single_core_cpis) != len(multi_core_cpis):
+        raise MetricError(
+            f"got {len(single_core_cpis)} single-core CPIs but "
+            f"{len(multi_core_cpis)} multi-core CPIs"
+        )
+    if not single_core_cpis:
+        raise MetricError("at least one program is required")
+    for value in list(single_core_cpis) + list(multi_core_cpis):
+        if value <= 0:
+            raise MetricError(f"CPIs must be positive, got {value}")
+
+
+def stp(single_core_cpis: Sequence[float], multi_core_cpis: Sequence[float]) -> float:
+    """System throughput (weighted speedup); higher is better."""
+    _validate(single_core_cpis, multi_core_cpis)
+    return sum(sc / mc for sc, mc in zip(single_core_cpis, multi_core_cpis))
+
+
+def antt(single_core_cpis: Sequence[float], multi_core_cpis: Sequence[float]) -> float:
+    """Average normalized turnaround time; lower is better."""
+    _validate(single_core_cpis, multi_core_cpis)
+    n = len(single_core_cpis)
+    return sum(mc / sc for sc, mc in zip(single_core_cpis, multi_core_cpis)) / n
+
+
+def per_program_slowdowns(
+    single_core_cpis: Sequence[float], multi_core_cpis: Sequence[float]
+) -> List[float]:
+    """Per-program slowdowns ``CPI_MC / CPI_SC`` (1.0 means unaffected)."""
+    _validate(single_core_cpis, multi_core_cpis)
+    return [mc / sc for sc, mc in zip(single_core_cpis, multi_core_cpis)]
+
+
+@dataclass(frozen=True)
+class MixPerformance:
+    """STP, ANTT and slowdowns of one workload mix, with program labels."""
+
+    programs: Tuple[str, ...]
+    single_core_cpis: Tuple[float, ...]
+    multi_core_cpis: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        _validate(self.single_core_cpis, self.multi_core_cpis)
+        if len(self.programs) != len(self.single_core_cpis):
+            raise MetricError("program labels and CPI vectors must have the same length")
+
+    @property
+    def stp(self) -> float:
+        return stp(self.single_core_cpis, self.multi_core_cpis)
+
+    @property
+    def antt(self) -> float:
+        return antt(self.single_core_cpis, self.multi_core_cpis)
+
+    @property
+    def slowdowns(self) -> List[float]:
+        return per_program_slowdowns(self.single_core_cpis, self.multi_core_cpis)
+
+    @property
+    def num_programs(self) -> int:
+        return len(self.programs)
+
+    def worst_program(self) -> Tuple[str, float]:
+        """The program with the largest slowdown, and that slowdown."""
+        slowdowns = self.slowdowns
+        index = max(range(len(slowdowns)), key=slowdowns.__getitem__)
+        return self.programs[index], slowdowns[index]
+
+
+def mix_performance_from_cpis(
+    programs: Sequence[str],
+    single_core_cpis: Sequence[float],
+    multi_core_cpis: Sequence[float],
+) -> MixPerformance:
+    """Build a :class:`MixPerformance` from raw CPI vectors."""
+    return MixPerformance(
+        programs=tuple(programs),
+        single_core_cpis=tuple(single_core_cpis),
+        multi_core_cpis=tuple(multi_core_cpis),
+    )

@@ -1,0 +1,349 @@
+"""The single-core profile data model.
+
+A :class:`SingleCoreProfile` is exactly what the paper's §2.1 collects
+per benchmark: for every interval of the isolated run,
+
+* the single-core CPI,
+* the memory CPI (cycles waiting for memory per instruction), and
+* the LLC stack-distance counters (SDCs),
+
+plus enough bookkeeping (interval length, trace length, LLC geometry)
+for MPPM to aggregate windows of the profile as its iterative process
+advances each program's instruction pointer.  Profiles are plain data:
+they can be serialised to JSON and reloaded without touching the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.caches.stack_distance import StackDistanceCounters
+
+
+class ProfileError(ValueError):
+    """Raised for inconsistent profile data or invalid window queries."""
+
+
+@dataclass(frozen=True)
+class IntervalProfile:
+    """Profile of one interval (the paper's 20M-instruction granularity)."""
+
+    index: int
+    instructions: int
+    cpi: float
+    memory_cpi: float
+    llc_accesses: float
+    llc_misses: float
+    sdc: StackDistanceCounters
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ProfileError(f"interval {self.index}: instructions must be positive")
+        if self.cpi <= 0:
+            raise ProfileError(f"interval {self.index}: CPI must be positive, got {self.cpi}")
+        if self.memory_cpi < 0 or self.memory_cpi > self.cpi:
+            raise ProfileError(
+                f"interval {self.index}: memory CPI {self.memory_cpi} must be within [0, CPI]"
+            )
+        if self.llc_accesses < 0 or self.llc_misses < 0 or self.llc_misses > self.llc_accesses:
+            raise ProfileError(f"interval {self.index}: inconsistent LLC access/miss counts")
+
+    @property
+    def cycles(self) -> float:
+        return self.cpi * self.instructions
+
+    @property
+    def memory_cycles(self) -> float:
+        return self.memory_cpi * self.instructions
+
+
+@dataclass(frozen=True)
+class ProfileWindow:
+    """Aggregation of a profile over a window of instructions.
+
+    MPPM repeatedly needs "the SDCs, the memory cycles and the isolated
+    LLC miss count over the next N_p instructions starting from the
+    program's current position I_p"; a :class:`ProfileWindow` is that
+    aggregate.  Partial intervals are scaled proportionally.
+    """
+
+    instructions: float
+    cycles: float
+    memory_cycles: float
+    llc_accesses: float
+    llc_misses: float
+    sdc: StackDistanceCounters
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def memory_cpi(self) -> float:
+        return self.memory_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def average_miss_penalty(self) -> float:
+        """Average exposed cycles per isolated LLC miss over the window.
+
+        This is the paper's ``LLC_miss_penalty_p = CPI_mem,p * N_p /
+        #LLC misses``; zero when the window contains no misses.
+        """
+        if self.llc_misses <= 0:
+            return 0.0
+        return self.memory_cycles / self.llc_misses
+
+
+class SingleCoreProfile:
+    """Per-benchmark single-core profile on a given machine."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        machine_key: str,
+        machine_name: str,
+        interval_instructions: int,
+        intervals: Sequence[IntervalProfile],
+        llc_associativity: int,
+    ) -> None:
+        if not intervals:
+            raise ProfileError("a profile needs at least one interval")
+        if interval_instructions <= 0:
+            raise ProfileError("interval_instructions must be positive")
+        expected_index = list(range(len(intervals)))
+        if [interval.index for interval in intervals] != expected_index:
+            raise ProfileError("profile intervals must be consecutively indexed from 0")
+        for interval in intervals:
+            if interval.sdc.associativity != llc_associativity:
+                raise ProfileError(
+                    "interval SDC associativity does not match the profile's LLC associativity"
+                )
+        self.benchmark = benchmark
+        self.machine_key = machine_key
+        self.machine_name = machine_name
+        self.interval_instructions = interval_instructions
+        self.intervals: List[IntervalProfile] = list(intervals)
+        self.llc_associativity = llc_associativity
+
+        # Precomputed cumulative instruction boundaries for window lookups.
+        self._boundaries = np.cumsum([interval.instructions for interval in self.intervals])
+
+    # ------------------------------------------------------------------
+    # Whole-trace aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def num_instructions(self) -> int:
+        """Total instructions of the profiled trace."""
+        return int(self._boundaries[-1])
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(interval.cycles for interval in self.intervals)
+
+    @property
+    def cpi(self) -> float:
+        """Overall single-core CPI (the paper's CPI_SC)."""
+        return self.total_cycles / self.num_instructions
+
+    @property
+    def memory_cpi(self) -> float:
+        """Overall memory CPI (the paper's CPI_mem)."""
+        return sum(interval.memory_cycles for interval in self.intervals) / self.num_instructions
+
+    @property
+    def memory_cpi_fraction(self) -> float:
+        """Memory CPI as a fraction of total CPI (used for MEM/COMP classification)."""
+        return self.memory_cpi / self.cpi if self.cpi else 0.0
+
+    @property
+    def total_llc_accesses(self) -> float:
+        return sum(interval.llc_accesses for interval in self.intervals)
+
+    @property
+    def total_llc_misses(self) -> float:
+        return sum(interval.llc_misses for interval in self.intervals)
+
+    @property
+    def llc_misses_per_kilo_instruction(self) -> float:
+        return 1000.0 * self.total_llc_misses / self.num_instructions
+
+    def total_sdc(self) -> StackDistanceCounters:
+        """Sum of all interval SDCs."""
+        return StackDistanceCounters.sum(
+            (interval.sdc for interval in self.intervals), self.llc_associativity
+        )
+
+    # ------------------------------------------------------------------
+    # Window aggregation (the operation MPPM performs every iteration)
+    # ------------------------------------------------------------------
+
+    def window(self, start_instruction: float, num_instructions: float) -> ProfileWindow:
+        """Aggregate the profile over ``[start, start + num_instructions)``.
+
+        The start position wraps around the end of the trace (MPPM lets
+        fast programs iterate over their trace more than once), and the
+        window itself may span the wrap-around point.  Partial
+        intervals contribute proportionally.
+        """
+        if num_instructions <= 0:
+            raise ProfileError(f"window length must be positive, got {num_instructions}")
+        trace_length = self.num_instructions
+        start = float(start_instruction) % trace_length
+
+        remaining = float(num_instructions)
+        position = start
+        instructions = 0.0
+        cycles = 0.0
+        memory_cycles = 0.0
+        llc_accesses = 0.0
+        llc_misses = 0.0
+        sdc_counts = np.zeros(self.llc_associativity + 1, dtype=np.float64)
+
+        # Guard against pathological window lengths that would loop forever.
+        max_passes = int(np.ceil(num_instructions / trace_length)) + 2
+        passes = 0
+        while remaining > 1e-9:
+            if position >= trace_length - 1e-9:
+                position = 0.0
+                passes += 1
+                if passes > max_passes:
+                    raise ProfileError("window aggregation failed to terminate")
+            interval_index = int(np.searchsorted(self._boundaries, position, side="right"))
+            interval = self.intervals[interval_index]
+            available = self._boundaries[interval_index] - position
+            take = min(available, remaining)
+            fraction = take / interval.instructions
+
+            instructions += take
+            cycles += interval.cycles * fraction
+            memory_cycles += interval.memory_cycles * fraction
+            llc_accesses += interval.llc_accesses * fraction
+            llc_misses += interval.llc_misses * fraction
+            sdc_counts += interval.sdc.counts * fraction
+
+            position += take
+            remaining -= take
+
+        return ProfileWindow(
+            instructions=instructions,
+            cycles=cycles,
+            memory_cycles=memory_cycles,
+            llc_accesses=llc_accesses,
+            llc_misses=llc_misses,
+            sdc=StackDistanceCounters(associativity=self.llc_associativity, counts=sdc_counts),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived profiles
+    # ------------------------------------------------------------------
+
+    def reduced_associativity(self, ways: int) -> "SingleCoreProfile":
+        """Derive the profile for an LLC with fewer ways (same sets).
+
+        The paper points out that profiles collected for a 16-way LLC
+        can be reused for an 8-way LLC without re-simulation.  The SDCs
+        fold exactly; the CPI and memory CPI are adjusted by charging
+        the additional misses the average miss penalty observed in the
+        interval (an approximation the paper shares).
+        """
+        new_intervals = []
+        for interval in self.intervals:
+            new_sdc = interval.sdc.reduced_associativity(ways)
+            extra_misses = new_sdc.misses - interval.sdc.misses
+            if interval.llc_misses > 0:
+                penalty = interval.memory_cycles / interval.llc_misses
+            else:
+                penalty = 0.0
+            extra_cycles = extra_misses * penalty
+            cycles = interval.cycles + extra_cycles
+            memory_cycles = interval.memory_cycles + extra_cycles
+            new_intervals.append(
+                IntervalProfile(
+                    index=interval.index,
+                    instructions=interval.instructions,
+                    cpi=cycles / interval.instructions,
+                    memory_cpi=memory_cycles / interval.instructions,
+                    llc_accesses=interval.llc_accesses,
+                    llc_misses=interval.llc_misses + extra_misses,
+                    sdc=new_sdc,
+                )
+            )
+        return SingleCoreProfile(
+            benchmark=self.benchmark,
+            machine_key=f"{self.machine_key}|derived_ways={ways}",
+            machine_name=f"{self.machine_name} (derived {ways}-way LLC)",
+            interval_instructions=self.interval_instructions,
+            intervals=new_intervals,
+            llc_associativity=ways,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-data representation suitable for JSON."""
+        return {
+            "benchmark": self.benchmark,
+            "machine_key": self.machine_key,
+            "machine_name": self.machine_name,
+            "interval_instructions": self.interval_instructions,
+            "llc_associativity": self.llc_associativity,
+            "intervals": [
+                {
+                    "index": interval.index,
+                    "instructions": interval.instructions,
+                    "cpi": interval.cpi,
+                    "memory_cpi": interval.memory_cpi,
+                    "llc_accesses": interval.llc_accesses,
+                    "llc_misses": interval.llc_misses,
+                    "sdc": interval.sdc.counts.tolist(),
+                }
+                for interval in self.intervals
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SingleCoreProfile":
+        """Inverse of :meth:`to_dict`."""
+        associativity = int(data["llc_associativity"])
+        intervals = [
+            IntervalProfile(
+                index=int(entry["index"]),
+                instructions=int(entry["instructions"]),
+                cpi=float(entry["cpi"]),
+                memory_cpi=float(entry["memory_cpi"]),
+                llc_accesses=float(entry["llc_accesses"]),
+                llc_misses=float(entry["llc_misses"]),
+                sdc=StackDistanceCounters(
+                    associativity=associativity,
+                    counts=np.asarray(entry["sdc"], dtype=np.float64),
+                ),
+            )
+            for entry in data["intervals"]
+        ]
+        return cls(
+            benchmark=data["benchmark"],
+            machine_key=data["machine_key"],
+            machine_name=data["machine_name"],
+            interval_instructions=int(data["interval_instructions"]),
+            intervals=intervals,
+            llc_associativity=associativity,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark} on {self.machine_name}: CPI_SC {self.cpi:.3f}, "
+            f"CPI_mem {self.memory_cpi:.3f} ({self.memory_cpi_fraction:.0%}), "
+            f"{self.llc_misses_per_kilo_instruction:.2f} LLC MPKI, "
+            f"{self.num_intervals} intervals"
+        )

@@ -1,0 +1,176 @@
+"""Caching store for single-core profiles (and their LLC traces).
+
+Single-core simulation is the one-time cost of the paper's methodology;
+the store makes sure it really is paid only once per (benchmark,
+machine) pair within a process, and — optionally — across processes by
+persisting profiles as JSON files in a cache directory.
+
+Two kinds of artefacts are cached:
+
+* the :class:`SingleCoreProfile` — all MPPM ever needs; persisted to
+  disk when a cache directory is configured, and
+* the :class:`LLCAccessTrace` of the same isolated run — needed only by
+  the multi-core *reference* simulator; kept in memory and regenerated
+  on demand (it is deterministic, so regeneration is always consistent
+  with the profile).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.config.machine import MachineConfig
+from repro.profiling.profile import SingleCoreProfile
+from repro.profiling.profiler import ProfiledBenchmark, Profiler
+from repro.simulators.llc_trace import LLCAccessTrace
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.suite import BenchmarkSuite
+
+
+class ProfileStore:
+    """Caches profiles per (benchmark, machine).
+
+    Parameters
+    ----------
+    num_instructions, interval_instructions, seed:
+        Passed through to the :class:`Profiler` when a profile has to
+        be produced.
+    cache_dir:
+        Optional directory for JSON persistence of profiles.
+    """
+
+    def __init__(
+        self,
+        num_instructions: int = 200_000,
+        interval_instructions: int = 4_000,
+        seed: int = 0,
+        cache_dir: Optional[Path] = None,
+    ) -> None:
+        self.num_instructions = num_instructions
+        self.interval_instructions = interval_instructions
+        self.seed = seed
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._profiles: Dict[Tuple[BenchmarkSpec, str], SingleCoreProfile] = {}
+        self._traces: Dict[Tuple[BenchmarkSpec, str], LLCAccessTrace] = {}
+        self._profilers: Dict[str, Profiler] = {}
+        self.simulated_profiles = 0
+        self.loaded_profiles = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def get_profile(self, spec: BenchmarkSpec, machine: MachineConfig) -> SingleCoreProfile:
+        """Profile (or fetch the cached profile of) one benchmark on one machine."""
+        key = self._key(spec, machine)
+        cached = self._profiles.get(key)
+        if cached is not None:
+            return cached
+
+        loaded = self._load_from_disk(spec, machine)
+        if loaded is not None:
+            self._profiles[key] = loaded
+            self.loaded_profiles += 1
+            return loaded
+
+        return self._simulate(spec, machine).profile
+
+    def get_llc_trace(self, spec: BenchmarkSpec, machine: MachineConfig) -> LLCAccessTrace:
+        """The LLC access trace of the isolated run (simulates if needed)."""
+        key = self._key(spec, machine)
+        cached = self._traces.get(key)
+        if cached is not None:
+            return cached
+        return self._simulate(spec, machine).llc_trace
+
+    def get(self, spec: BenchmarkSpec, machine: MachineConfig) -> ProfiledBenchmark:
+        """Both the profile and the LLC trace for one benchmark."""
+        key = self._key(spec, machine)
+        if key in self._profiles and key in self._traces:
+            return ProfiledBenchmark(profile=self._profiles[key], llc_trace=self._traces[key])
+        profiled = self._simulate(spec, machine)
+        return profiled
+
+    def get_suite(
+        self, suite: BenchmarkSuite, machine: MachineConfig
+    ) -> Dict[str, ProfiledBenchmark]:
+        """Profiles for every benchmark of a suite (name → profiled benchmark)."""
+        return {spec.name: self.get(spec, machine) for spec in suite}
+
+    def get_suite_profiles(
+        self, suite: BenchmarkSuite, machine: MachineConfig
+    ) -> Dict[str, SingleCoreProfile]:
+        """Profiles only, for every benchmark of a suite."""
+        return {spec.name: self.get_profile(spec, machine) for spec in suite}
+
+    def cached_pairs(self) -> int:
+        """Number of (benchmark, machine) pairs with an in-memory profile."""
+        return len(self._profiles)
+
+    def clear(self) -> None:
+        """Drop the in-memory caches (the on-disk cache is untouched)."""
+        self._profiles.clear()
+        self._traces.clear()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _key(self, spec: BenchmarkSpec, machine: MachineConfig) -> Tuple[BenchmarkSpec, str]:
+        # Keyed by the full (frozen, hashable) spec, not just its name, so
+        # that redefining a benchmark under the same name never returns a
+        # stale profile.
+        return (spec, machine.profile_key())
+
+    def _profiler_for(self, machine: MachineConfig) -> Profiler:
+        key = machine.profile_key()
+        if key not in self._profilers:
+            self._profilers[key] = Profiler(
+                machine=machine,
+                num_instructions=self.num_instructions,
+                interval_instructions=self.interval_instructions,
+                seed=self.seed,
+            )
+        return self._profilers[key]
+
+    def _simulate(self, spec: BenchmarkSpec, machine: MachineConfig) -> ProfiledBenchmark:
+        profiled = self._profiler_for(machine).profile(spec)
+        key = self._key(spec, machine)
+        self._profiles[key] = profiled.profile
+        self._traces[key] = profiled.llc_trace
+        self.simulated_profiles += 1
+        self._save_to_disk(spec, profiled.profile)
+        return profiled
+
+    def _disk_path(self, spec: BenchmarkSpec, machine_key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        digest = 0
+        description = (
+            f"{machine_key}|{self.num_instructions}|{self.interval_instructions}|"
+            f"{self.seed}|{spec!r}"
+        )
+        for char in description:
+            digest = (digest * 131 + ord(char)) & 0xFFFFFFFF
+        return self.cache_dir / f"{spec.name}-{digest:08x}.json"
+
+    def _load_from_disk(
+        self, spec: BenchmarkSpec, machine: MachineConfig
+    ) -> Optional[SingleCoreProfile]:
+        path = self._disk_path(spec, machine.profile_key())
+        if path is None or not path.exists():
+            return None
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return SingleCoreProfile.from_dict(data)
+
+    def _save_to_disk(self, spec: BenchmarkSpec, profile: SingleCoreProfile) -> None:
+        path = self._disk_path(spec, profile.machine_key)
+        if path is None:
+            return
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(profile.to_dict(), handle)

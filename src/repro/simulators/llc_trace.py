@@ -1,0 +1,102 @@
+"""The filtered last-level-cache access trace of one program.
+
+The single-core simulator filters a benchmark's memory accesses through
+the private L1/L2; only the accesses that miss in all private levels
+reach the shared LLC.  The multi-core reference simulator replays these
+filtered streams — one per co-running program — against a single shared
+LLC, so it needs, per LLC access, the line address and the number of
+core cycles the program spends *upstream* (computing, hitting in
+private caches) between consecutive LLC accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.benchmark import BenchmarkSpec
+
+
+class LLCTraceError(ValueError):
+    """Raised for inconsistent LLC access traces."""
+
+
+@dataclass(frozen=True)
+class LLCAccessTrace:
+    """Per-program input to the shared-LLC multi-core simulation.
+
+    Attributes
+    ----------
+    spec:
+        The benchmark specification (provides the name and MLP factor).
+    num_instructions:
+        Dynamic instruction count of the underlying trace.
+    line:
+        Cache-line address of each LLC access, in program order.
+    insn:
+        Dynamic instruction index at which each LLC access occurs.
+    upstream_cycle_gap:
+        Core cycles spent since the previous LLC access (base CPI plus
+        exposed private-cache hit penalties); the shared-LLC penalty of
+        the access itself is *not* included — the multi-core simulator
+        adds it depending on whether the shared LLC hits or misses.
+    tail_cycles:
+        Core cycles spent after the last LLC access until the end of
+        the trace.
+    isolated_cycles:
+        Total cycles of the isolated (single-core) run of the same
+        trace on the same machine; kept so that consumers can compute
+        slowdowns without re-deriving the isolated CPI.
+    """
+
+    spec: BenchmarkSpec
+    num_instructions: int
+    line: np.ndarray
+    insn: np.ndarray
+    upstream_cycle_gap: np.ndarray
+    tail_cycles: float
+    isolated_cycles: float
+
+    def __post_init__(self) -> None:
+        n = len(self.line)
+        if len(self.insn) != n or len(self.upstream_cycle_gap) != n:
+            raise LLCTraceError("LLC trace arrays must all have the same length")
+        if n == 0:
+            raise LLCTraceError(
+                f"{self.spec.name}: the program never accesses the LLC; the multi-core "
+                "simulation would be degenerate"
+            )
+        if self.num_instructions <= 0:
+            raise LLCTraceError("num_instructions must be positive")
+        if self.tail_cycles < 0 or self.isolated_cycles <= 0:
+            raise LLCTraceError("cycle counts must be positive")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_llc_accesses(self) -> int:
+        return len(self.line)
+
+    @property
+    def llc_accesses_per_kilo_instruction(self) -> float:
+        return 1000.0 * self.num_llc_accesses / self.num_instructions
+
+    @property
+    def isolated_cpi(self) -> float:
+        """Single-core CPI of the program on the profiled machine."""
+        return self.isolated_cycles / self.num_instructions
+
+    @property
+    def total_upstream_cycles(self) -> float:
+        """Cycles the program spends without touching the LLC, per trace pass."""
+        return float(self.upstream_cycle_gap.sum()) + self.tail_cycles
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_llc_accesses} LLC accesses "
+            f"({self.llc_accesses_per_kilo_instruction:.1f} per kilo-instruction), "
+            f"isolated CPI {self.isolated_cpi:.3f}"
+        )

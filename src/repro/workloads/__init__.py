@@ -1,0 +1,61 @@
+"""Synthetic multi-program workloads.
+
+The paper evaluates MPPM on SPEC CPU2006 (29 benchmarks, 1B-instruction
+SimPoints traced with Pin).  That artefact is proprietary, so this
+package provides the substitution described in DESIGN.md: a suite of 29
+named *synthetic* benchmarks, each defined by a :class:`BenchmarkSpec`
+that parameterises an LRU-stack-model address-stream generator
+(temporal-reuse profile, working-set size, streaming fraction,
+memory-reference rate, base CPI, memory-level parallelism and
+per-phase parameter drift).
+
+The package also contains everything the paper needs around the suite:
+
+* :mod:`repro.workloads.generator` — deterministic trace generation,
+* :mod:`repro.workloads.trace` — the in-memory trace representation,
+* :mod:`repro.workloads.classification` — MEM / COMP / MIX benchmark
+  classes used by the "current practice" category sampling,
+* :mod:`repro.workloads.mixes` — enumeration, counting and sampling of
+  multi-program workload mixes (combinations with repetition).
+"""
+
+from repro.workloads.benchmark import BenchmarkSpec, PhaseSpec, ReuseProfile
+from repro.workloads.suite import (
+    BenchmarkSuite,
+    spec_cpu2006_like_suite,
+    small_suite,
+)
+from repro.workloads.trace import MemoryTrace
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.classification import (
+    BenchmarkClass,
+    classify_benchmark,
+    classify_suite,
+)
+from repro.workloads.mixes import (
+    WorkloadMix,
+    count_mixes,
+    enumerate_mixes,
+    sample_mixes,
+    sample_category_mixes,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "PhaseSpec",
+    "ReuseProfile",
+    "BenchmarkSuite",
+    "spec_cpu2006_like_suite",
+    "small_suite",
+    "MemoryTrace",
+    "TraceGenerator",
+    "generate_trace",
+    "BenchmarkClass",
+    "classify_benchmark",
+    "classify_suite",
+    "WorkloadMix",
+    "count_mixes",
+    "enumerate_mixes",
+    "sample_mixes",
+    "sample_category_mixes",
+]

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Tests run against *small* machines and short traces so the whole suite
+stays fast: the scaled-down cache hierarchy keeps the same structure
+(private L1/L2, shared L3) and the benchmarks keep their heterogeneity,
+so every invariant exercised here transfers to the full experiment
+scale used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import baseline_machine, scaled
+from repro.profiling import ProfileStore
+from repro.workloads import spec_cpu2006_like_suite, small_suite
+from repro.workloads.generator import TraceGenerator
+
+
+#: Trace length used throughout the tests (1/4 of the experiment default).
+TEST_INSTRUCTIONS = 50_000
+#: Profiling interval used throughout the tests (50 intervals per trace).
+TEST_INTERVAL = 1_000
+#: Cache scaling used throughout the tests.
+TEST_SCALE = 16
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    """The full 29-benchmark suite (specs only, no simulation)."""
+    return spec_cpu2006_like_suite()
+
+
+@pytest.fixture(scope="session")
+def tiny_suite():
+    """A small heterogeneous suite used for simulation-backed tests."""
+    return small_suite(6)
+
+
+@pytest.fixture(scope="session")
+def machine4():
+    """A scaled 4-core machine with LLC configuration #1."""
+    return scaled(baseline_machine(num_cores=4, llc_config=1), TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def machine2():
+    """A scaled 2-core machine with LLC configuration #1."""
+    return scaled(baseline_machine(num_cores=2, llc_config=1), TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def generator():
+    """Deterministic trace generator at test scale."""
+    return TraceGenerator(num_instructions=TEST_INSTRUCTIONS, seed=0)
+
+
+@pytest.fixture(scope="session")
+def store():
+    """A profile store at test scale, shared across the whole session."""
+    return ProfileStore(
+        num_instructions=TEST_INSTRUCTIONS, interval_instructions=TEST_INTERVAL, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def profiles4(store, tiny_suite, machine4):
+    """Profiles of the tiny suite on the 4-core machine (session-cached)."""
+    return {spec.name: store.get_profile(spec, machine4) for spec in tiny_suite}
+
+
+@pytest.fixture(scope="session")
+def gamess_trace(generator, full_suite):
+    """The generated memory trace of the most sharing-sensitive benchmark."""
+    return generator.generate(full_suite["gamess"])
+
+
+@pytest.fixture(scope="session")
+def hmmer_trace(generator, full_suite):
+    """The generated memory trace of a cache-friendly benchmark."""
+    return generator.generate(full_suite["hmmer"])

@@ -1,0 +1,77 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.caches.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementError,
+    make_policy,
+)
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy()
+        state = policy.new_set_state(4)
+        for way in range(4):
+            policy.on_fill(state, way)
+        # Ways were filled 0,1,2,3 -> 0 is the LRU.
+        assert policy.victim(state, [0, 1, 2, 3]) == 0
+        # Touching way 0 promotes it; way 1 becomes the victim.
+        policy.on_hit(state, 0)
+        assert policy.victim(state, [0, 1, 2, 3]) == 1
+
+    def test_refill_of_existing_way_promotes_it(self):
+        policy = LRUPolicy()
+        state = policy.new_set_state(2)
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        policy.on_fill(state, 0)
+        assert policy.victim(state, [0, 1]) == 1
+
+    def test_victim_on_empty_state_is_an_error(self):
+        policy = LRUPolicy()
+        with pytest.raises(ReplacementError):
+            policy.victim(policy.new_set_state(4), [])
+
+
+class TestFIFOPolicy:
+    def test_hits_do_not_change_eviction_order(self):
+        policy = FIFOPolicy()
+        state = policy.new_set_state(3)
+        for way in range(3):
+            policy.on_fill(state, way)
+        policy.on_hit(state, 0)
+        # Despite the hit, way 0 is still the first in, first out.
+        assert policy.victim(state, [0, 1, 2]) == 0
+
+    def test_victim_on_empty_state_is_an_error(self):
+        policy = FIFOPolicy()
+        with pytest.raises(ReplacementError):
+            policy.victim(policy.new_set_state(2), [])
+
+
+class TestRandomPolicy:
+    def test_victims_come_from_occupied_ways_and_are_deterministic_per_seed(self):
+        occupied = [0, 1, 2, 3]
+        first = [RandomPolicy(seed=9).victim(None, occupied) for _ in range(10)]
+        second = [RandomPolicy(seed=9).victim(None, occupied) for _ in range(10)]
+        assert first == second
+        assert set(first) <= set(occupied)
+
+    def test_victim_requires_occupied_ways(self):
+        with pytest.raises(ReplacementError):
+            RandomPolicy().victim(None, [])
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name, cls", [("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy)])
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+        assert isinstance(make_policy(name.upper()), cls)
+
+    def test_unknown_policy_is_an_error(self):
+        with pytest.raises(ReplacementError):
+            make_policy("plru-tree")

@@ -1,0 +1,134 @@
+"""Unit and property tests for the set-associative cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.replacement import LRUPolicy
+from repro.caches.set_associative import SetAssociativeCache
+from repro.config.cache_config import CacheConfig
+
+
+def _cache(num_sets=4, associativity=2, policy="lru"):
+    config = CacheConfig(
+        name="test", size_bytes=num_sets * associativity * 64, associativity=associativity
+    )
+    return SetAssociativeCache(config, policy=policy)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = _cache()
+        assert cache.access(0).miss
+        assert cache.access(0).hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_within_a_set(self):
+        cache = _cache(num_sets=1, associativity=2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(2)  # evicts 0 (the LRU line)
+        assert not cache.contains(0)
+        assert cache.contains(1) and cache.contains(2)
+        assert cache.access(0).miss
+
+    def test_hit_refreshes_recency(self):
+        cache = _cache(num_sets=1, associativity=2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 1 is now the LRU
+        outcome = cache.access(2)
+        assert outcome.miss
+        assert outcome.evicted_line == 1
+        assert cache.contains(0)
+
+    def test_lines_map_to_sets_by_modulo(self):
+        cache = _cache(num_sets=4, associativity=1)
+        assert cache.set_index(5) == 1
+        assert cache.set_index(8) == 0
+        cache.access(0)
+        cache.access(4)  # same set, 1-way -> evicts 0
+        assert not cache.contains(0)
+        cache.access(1)  # different set, does not interfere
+        assert cache.contains(4) and cache.contains(1)
+
+    def test_occupancy_is_bounded_by_capacity(self):
+        cache = _cache(num_sets=2, associativity=2)
+        for line in range(100):
+            cache.access(line)
+        assert cache.occupancy() <= 4
+        assert len(cache.resident_lines()) == cache.occupancy()
+
+    def test_reset_clears_contents_and_statistics(self):
+        cache = _cache()
+        cache.access(1)
+        cache.access(1)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.occupancy() == 0
+        assert cache.access(1).miss
+
+    def test_empty_cache_has_zero_miss_rate(self):
+        assert _cache().miss_rate == 0.0
+
+
+class TestPolicies:
+    def test_policy_object_can_be_passed_directly(self):
+        cache = _cache(policy=LRUPolicy())
+        assert cache.policy_name == "lru"
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_fifo_policy_differs_from_lru(self):
+        # Access pattern where FIFO and LRU evict different lines.
+        pattern = [0, 1, 0, 2, 0, 1]
+        lru = _cache(num_sets=1, associativity=2, policy="lru")
+        fifo = _cache(num_sets=1, associativity=2, policy="fifo")
+        lru_hits = sum(lru.access(line).hit for line in pattern)
+        fifo_hits = sum(fifo.access(line).hit for line in pattern)
+        assert lru_hits != fifo_hits
+
+    def test_random_policy_stays_within_capacity(self):
+        cache = _cache(num_sets=2, associativity=2, policy="random")
+        for line in range(50):
+            cache.access(line)
+        assert cache.occupancy() <= 4
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lru_fast_path_matches_generic_policy_path(self, accesses):
+        """The optimised list-based LRU must behave exactly like the generic policy."""
+        fast = _cache(num_sets=4, associativity=2, policy="lru")
+        generic = _cache(num_sets=4, associativity=2, policy=LRUPolicy())
+        for line in accesses:
+            assert fast.access(line).hit == generic.access(line).hit
+        assert fast.hits == generic.hits
+        assert fast.misses == generic.misses
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=300),
+        associativity=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_and_counters_are_always_consistent(self, accesses, associativity):
+        cache = _cache(num_sets=4, associativity=associativity)
+        for line in accesses:
+            cache.access(line)
+        assert cache.hits + cache.misses == len(accesses)
+        assert cache.occupancy() <= 4 * associativity
+        assert cache.occupancy() == len(set(cache.resident_lines()))
+
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_associativity_never_increases_misses(self, accesses):
+        """LRU caches have the stack property: more ways can only help."""
+        small = _cache(num_sets=2, associativity=2)
+        large = _cache(num_sets=2, associativity=8)
+        for line in accesses:
+            small.access(line)
+            large.access(line)
+        assert large.misses <= small.misses

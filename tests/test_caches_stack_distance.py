@@ -1,0 +1,160 @@
+"""Unit and property tests for stack-distance counters and profiling.
+
+The key property test here ties the two halves of the substrate
+together: for any access stream, the misses predicted by the
+stack-distance counters at associativity A must equal the misses of an
+actual A-way LRU cache with the same set count (the classic inclusion
+property of LRU that both MPPM and the FOA contention model rely on).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.set_associative import SetAssociativeCache
+from repro.caches.stack_distance import (
+    StackDistanceCounters,
+    StackDistanceError,
+    StackDistanceProfiler,
+)
+from repro.config.cache_config import CacheConfig
+
+
+class TestStackDistanceCounters:
+    def test_record_routes_to_the_right_counter(self):
+        counters = StackDistanceCounters(associativity=4)
+        counters.record(1)
+        counters.record(4)
+        counters.record(5)  # beyond associativity -> miss
+        counters.record(0)  # cold -> miss
+        assert counters.hits == 2
+        assert counters.misses == 2
+        assert counters.total_accesses == 4
+        assert counters.miss_rate == pytest.approx(0.5)
+
+    def test_add_and_scaled(self):
+        a = StackDistanceCounters(associativity=2, counts=np.array([1.0, 2.0, 3.0]))
+        b = StackDistanceCounters(associativity=2, counts=np.array([4.0, 5.0, 6.0]))
+        total = a.add(b)
+        assert np.allclose(total.counts, [5.0, 7.0, 9.0])
+        assert np.allclose(a.scaled(0.5).counts, [0.5, 1.0, 1.5])
+        with pytest.raises(StackDistanceError):
+            a.add(StackDistanceCounters(associativity=3))
+        with pytest.raises(StackDistanceError):
+            a.scaled(-1.0)
+
+    def test_sum_of_counters(self):
+        parts = [
+            StackDistanceCounters(associativity=2, counts=np.array([1.0, 0.0, 1.0]))
+            for _ in range(3)
+        ]
+        total = StackDistanceCounters.sum(parts, associativity=2)
+        assert total.total_accesses == 6
+        assert total.misses == 3
+
+    def test_misses_for_fewer_ways_is_monotonic(self):
+        counters = StackDistanceCounters(
+            associativity=4, counts=np.array([10.0, 5.0, 3.0, 2.0, 7.0])
+        )
+        misses = [counters.misses_for_ways(w) for w in range(5)]
+        assert misses[0] == counters.total_accesses
+        assert misses[4] == counters.misses
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+        with pytest.raises(StackDistanceError):
+            counters.misses_for_ways(5)
+
+    def test_effective_ways_interpolates(self):
+        counters = StackDistanceCounters(
+            associativity=4, counts=np.array([10.0, 5.0, 3.0, 2.0, 7.0])
+        )
+        at_2 = counters.misses_for_ways(2)
+        at_3 = counters.misses_for_ways(3)
+        halfway = counters.misses_for_effective_ways(2.5)
+        assert min(at_2, at_3) <= halfway <= max(at_2, at_3)
+        assert halfway == pytest.approx((at_2 + at_3) / 2)
+        # Out-of-range values clamp sensibly.
+        assert counters.misses_for_effective_ways(10.0) == counters.misses
+        assert counters.misses_for_effective_ways(-1.0) == counters.total_accesses
+
+    def test_reduced_associativity_folds_deep_counters(self):
+        counters = StackDistanceCounters(
+            associativity=4, counts=np.array([10.0, 5.0, 3.0, 2.0, 7.0])
+        )
+        reduced = counters.reduced_associativity(2)
+        assert reduced.associativity == 2
+        assert reduced.total_accesses == counters.total_accesses
+        assert reduced.misses == pytest.approx(3.0 + 2.0 + 7.0)
+        with pytest.raises(StackDistanceError):
+            counters.reduced_associativity(0)
+        with pytest.raises(StackDistanceError):
+            counters.reduced_associativity(5)
+
+    def test_validation_of_counter_vectors(self):
+        with pytest.raises(StackDistanceError):
+            StackDistanceCounters(associativity=0)
+        with pytest.raises(StackDistanceError):
+            StackDistanceCounters(associativity=2, counts=np.array([1.0, 2.0]))
+        with pytest.raises(StackDistanceError):
+            StackDistanceCounters(associativity=2, counts=np.array([1.0, -2.0, 0.0]))
+
+    def test_equality_and_copy(self):
+        counters = StackDistanceCounters(associativity=2, counts=np.array([1.0, 2.0, 3.0]))
+        assert counters == counters.copy()
+        assert counters != StackDistanceCounters(associativity=2)
+
+
+class TestStackDistanceProfiler:
+    def test_distances_follow_lru_positions(self):
+        profiler = StackDistanceProfiler(num_sets=1, associativity=4)
+        assert profiler.access(10) == 0  # cold
+        assert profiler.access(11) == 0
+        assert profiler.access(10) == 2  # one line accessed in between
+        assert profiler.access(10) == 1  # immediately reused
+
+    def test_counters_accumulate_and_snapshot_resets_them(self):
+        profiler = StackDistanceProfiler(num_sets=2, associativity=2)
+        profiler.profile_stream([0, 1, 0, 2, 0])
+        snapshot = profiler.snapshot_and_reset_counters()
+        assert snapshot.total_accesses == 5
+        assert profiler.counters.total_accesses == 0
+        # The LRU stacks survive the snapshot: the next access to a known
+        # line is not a cold miss.
+        assert profiler.access(0) > 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(StackDistanceError):
+            StackDistanceProfiler(num_sets=0, associativity=4)
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=300),
+        num_sets=st.sampled_from([1, 2, 4]),
+        associativity=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sdc_misses_match_real_lru_cache(self, accesses, num_sets, associativity):
+        """Mattson's stack property: SDC-predicted misses == simulated LRU misses."""
+        profiler = StackDistanceProfiler(num_sets=num_sets, associativity=associativity)
+        config = CacheConfig(
+            name="ref", size_bytes=num_sets * associativity * 64, associativity=associativity
+        )
+        cache = SetAssociativeCache(config)
+        for line in accesses:
+            profiler.access(line)
+            cache.access(line)
+        assert profiler.counters.misses == cache.misses
+        assert profiler.counters.hits == cache.hits
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_reduced_associativity_matches_directly_profiled_smaller_cache(self, accesses):
+        """Deriving an SDC for fewer ways equals profiling the smaller cache directly."""
+        wide = StackDistanceProfiler(num_sets=2, associativity=8)
+        narrow = StackDistanceProfiler(num_sets=2, associativity=4)
+        for line in accesses:
+            wide.access(line)
+            narrow.access(line)
+        derived = wide.counters.reduced_associativity(4)
+        assert np.allclose(derived.counts, narrow.counters.counts)

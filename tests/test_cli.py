@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+#: Arguments that keep every CLI invocation fast (tiny suite and traces).
+FAST = ["--benchmarks", "5", "--instructions", "20000", "--scale", "16"]
+
+
+class TestParser:
+    def test_all_subcommands_are_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["suite"])
+        assert args.command == "suite"
+        for command in ("suite", "profile", "predict", "compare", "rank", "stress"):
+            assert command in parser.format_help()
+
+    def test_missing_subcommand_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_llc_config_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--llc-config", "9"])
+
+
+class TestCommands:
+    def test_suite_lists_benchmarks_and_classes(self, capsys):
+        assert main(["suite", *FAST]) == 0
+        output = capsys.readouterr().out
+        assert "gamess" in output
+        assert "class" in output
+
+    def test_profile_reports_cpi_columns(self, capsys):
+        assert main(["profile", *FAST, "gamess", "hmmer"]) == 0
+        output = capsys.readouterr().out
+        assert "CPI_SC" in output and "gamess" in output and "hmmer" in output
+
+    def test_profile_rejects_unknown_benchmark(self, capsys):
+        assert main(["profile", *FAST, "quake"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_predict_prints_a_prediction(self, capsys):
+        assert main(["predict", *FAST, "gamess", "hmmer"]) == 0
+        output = capsys.readouterr().out
+        assert "STP" in output and "slowdown" in output
+
+    def test_predict_rejects_unknown_benchmark(self, capsys):
+        assert main(["predict", *FAST, "gamess", "quake"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_compare_reports_measured_and_predicted(self, capsys):
+        assert main(["compare", *FAST, "gamess", "soplex"]) == 0
+        output = capsys.readouterr().out
+        assert "CPI_MC_measured" in output and "CPI_MC_predicted" in output
+        assert "error" in output
+
+    def test_rank_orders_the_design_space(self, capsys):
+        assert main(["rank", *FAST, "--cores", "2", "--mixes", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "config #" in output
+        assert "avg_STP" in output
+
+    def test_stress_reports_worst_mixes(self, capsys):
+        assert main(["stress", *FAST, "--cores", "2", "--mixes", "6", "--worst", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "worst_program" in output
+        assert output.count("\n") >= 5

@@ -1,0 +1,54 @@
+"""Unit tests for the Table 1/Table 2 machine builders."""
+
+import pytest
+
+from repro.config import LLC_CONFIGS, baseline_machine, llc_design_space, machine_with_llc
+from repro.config.cache_config import KIB, MIB
+
+
+class TestLLCConfigs:
+    def test_table2_has_six_configurations(self):
+        assert sorted(LLC_CONFIGS) == [1, 2, 3, 4, 5, 6]
+
+    @pytest.mark.parametrize(
+        "number, size, assoc, latency",
+        [
+            (1, 512 * KIB, 8, 16),
+            (2, 512 * KIB, 16, 20),
+            (3, 1 * MIB, 8, 18),
+            (4, 1 * MIB, 16, 22),
+            (5, 2 * MIB, 8, 20),
+            (6, 2 * MIB, 16, 24),
+        ],
+    )
+    def test_table2_values(self, number, size, assoc, latency):
+        llc = LLC_CONFIGS[number]
+        assert llc.size_bytes == size
+        assert llc.associativity == assoc
+        assert llc.latency == latency
+        assert llc.shared
+
+    def test_baseline_machine_defaults(self):
+        machine = baseline_machine()
+        assert machine.num_cores == 4
+        assert machine.llc == LLC_CONFIGS[1]
+        assert machine.memory.latency == 200
+        # Table 1 private hierarchy: 32KB L1D, 256KB L2.
+        assert machine.private_levels[0].size_bytes == 32 * KIB
+        assert machine.private_levels[1].size_bytes == 256 * KIB
+
+    def test_baseline_machine_with_other_config_and_cores(self):
+        machine = baseline_machine(num_cores=16, llc_config=4)
+        assert machine.num_cores == 16
+        assert machine.llc == LLC_CONFIGS[4]
+        assert machine.name == "config #4"
+
+    def test_machine_with_llc_rejects_unknown_config(self):
+        with pytest.raises(KeyError):
+            machine_with_llc(7)
+
+    def test_design_space_order_and_count(self):
+        machines = llc_design_space(num_cores=4)
+        assert len(machines) == 6
+        assert [machine.name for machine in machines] == [f"config #{i}" for i in range(1, 7)]
+        assert all(machine.num_cores == 4 for machine in machines)

@@ -1,0 +1,74 @@
+"""Unit and property tests for machine scaling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import baseline_machine, scale_cache, scaled
+from repro.config.cache_config import KIB, CacheConfig, ConfigurationError
+
+
+class TestScaleCache:
+    def test_scale_divides_capacity(self):
+        cache = CacheConfig(name="L3", size_bytes=512 * KIB, associativity=8, latency=16)
+        smaller = scale_cache(cache, 16)
+        assert smaller.size_bytes == 32 * KIB
+        assert smaller.associativity == cache.associativity
+        assert smaller.latency == cache.latency
+        assert smaller.line_size == cache.line_size
+
+    def test_scale_one_is_identity(self):
+        cache = CacheConfig(name="L2", size_bytes=256 * KIB, associativity=8)
+        assert scale_cache(cache, 1) is cache
+
+    def test_scale_never_goes_below_one_set(self):
+        cache = CacheConfig(name="L1D", size_bytes=2 * KIB, associativity=8)
+        tiny = scale_cache(cache, 1000)
+        assert tiny.num_sets >= 1
+        assert tiny.associativity == 8
+
+    def test_scale_must_be_positive(self):
+        cache = CacheConfig(name="L2", size_bytes=256 * KIB, associativity=8)
+        with pytest.raises(ConfigurationError):
+            scale_cache(cache, 0)
+
+    @given(scale=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_scaled_cache_is_always_valid_and_monotonic(self, scale):
+        cache = CacheConfig(name="L3", size_bytes=2048 * KIB, associativity=16, latency=24)
+        smaller = scale_cache(cache, scale)
+        # The constructor re-validates; capacity never grows.
+        assert smaller.size_bytes <= cache.size_bytes
+        assert smaller.size_bytes >= smaller.line_size * smaller.associativity
+        assert smaller.num_lines % smaller.associativity == 0
+
+
+class TestScaledMachine:
+    def test_scaled_machine_preserves_structure(self):
+        machine = baseline_machine(num_cores=4, llc_config=1)
+        small = scaled(machine, 16)
+        assert small.num_cores == machine.num_cores
+        assert len(small.private_levels) == len(machine.private_levels)
+        assert small.llc.associativity == machine.llc.associativity
+        assert small.llc.latency == machine.llc.latency
+        assert small.memory.latency == machine.memory.latency
+        assert "1/16 scale" in small.name
+
+    def test_scaled_machine_preserves_capacity_ratios(self):
+        machine = baseline_machine(num_cores=4, llc_config=1)
+        small = scaled(machine, 16)
+        original_ratio = machine.llc.size_bytes / machine.private_levels[1].size_bytes
+        scaled_ratio = small.llc.size_bytes / small.private_levels[1].size_bytes
+        assert scaled_ratio == pytest.approx(original_ratio)
+
+    def test_scale_one_returns_same_machine(self):
+        machine = baseline_machine()
+        assert scaled(machine, 1) is machine
+
+    def test_scaled_design_space_preserves_size_ordering(self):
+        sizes = []
+        for config in range(1, 7):
+            machine = scaled(baseline_machine(llc_config=config), 16)
+            sizes.append(machine.llc.size_bytes)
+        # 1 and 2 are equal, 3 and 4 are equal, 5 and 6 are equal, increasing in pairs.
+        assert sizes[0] == sizes[1] < sizes[2] == sizes[3] < sizes[4] == sizes[5]

@@ -1,0 +1,185 @@
+"""Unit and property tests for the cache-contention models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.stack_distance import StackDistanceCounters
+from repro.config.cache_config import CacheConfig
+from repro.contention import (
+    FOAModel,
+    InductiveProbabilityModel,
+    StackDistanceCompetitionModel,
+    make_contention_model,
+)
+from repro.contention.base import ContentionModelError, ProgramCacheDemand
+
+
+LLC = CacheConfig(name="L3", size_bytes=64 * 64 * 8, associativity=8, latency=16, shared=True)
+
+
+def _demand(name, per_way_counts, misses, instructions=10_000):
+    """Build a demand whose SDC has ``per_way_counts`` hits at each depth."""
+    counts = np.array(list(per_way_counts) + [misses], dtype=np.float64)
+    assert len(counts) == LLC.associativity + 1
+    return ProgramCacheDemand(
+        name=name,
+        sdc=StackDistanceCounters(associativity=LLC.associativity, counts=counts),
+        instructions=instructions,
+    )
+
+
+def _uniform_demand(name, accesses=800.0, misses=100.0):
+    per_way = [(accesses - misses) / LLC.associativity] * LLC.associativity
+    return _demand(name, per_way, misses)
+
+
+def _deep_demand(name, accesses=800.0, misses=50.0):
+    """Most reuse sits in the deepest ways: very sensitive to losing space."""
+    per_way = [10.0] * 4 + [(accesses - misses - 40.0) / 4] * 4
+    return _demand(name, per_way, misses)
+
+
+def _shallow_demand(name, accesses=800.0, misses=50.0):
+    """All reuse in the first two ways: insensitive to losing space."""
+    per_way = [(accesses - misses) / 2] * 2 + [0.0] * 6
+    return _demand(name, per_way, misses)
+
+
+ALL_MODELS = [FOAModel(), StackDistanceCompetitionModel(), InductiveProbabilityModel()]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_single_program_sees_no_extra_misses(self, model):
+        demand = _uniform_demand("alone")
+        estimates = model.estimate([demand], LLC)
+        assert len(estimates) == 1
+        assert estimates[0].extra_conflict_misses == pytest.approx(0.0)
+        assert estimates[0].shared_misses == pytest.approx(demand.isolated_misses)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_sharing_never_reduces_misses(self, model):
+        demands = [_uniform_demand("a"), _deep_demand("b"), _shallow_demand("c"), _uniform_demand("d")]
+        estimates = model.estimate(demands, LLC)
+        assert len(estimates) == len(demands)
+        for demand, estimate in zip(demands, estimates):
+            assert estimate.name == demand.name
+            assert estimate.shared_misses >= demand.isolated_misses - 1e-9
+            assert estimate.shared_misses <= demand.sdc.total_accesses + 1e-9
+            assert estimate.extra_conflict_misses >= 0.0
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_deep_reuse_suffers_more_than_shallow_reuse(self, model):
+        demands = [_deep_demand("deep"), _shallow_demand("shallow"), _uniform_demand("other")]
+        by_name = model.estimate_by_name(demands, LLC)
+        assert by_name["deep"].extra_conflict_misses >= by_name["shallow"].extra_conflict_misses
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_associativity_mismatch_is_rejected(self, model):
+        bad = ProgramCacheDemand(
+            name="bad",
+            sdc=StackDistanceCounters(associativity=4),
+            instructions=1_000,
+        )
+        with pytest.raises(ContentionModelError):
+            model.estimate([bad, _uniform_demand("ok")], LLC)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_empty_demand_list_is_rejected(self, model):
+        with pytest.raises(ContentionModelError):
+            model.estimate([], LLC)
+
+    def test_demand_validation(self):
+        with pytest.raises(ContentionModelError):
+            ProgramCacheDemand(
+                name="x", sdc=StackDistanceCounters(associativity=8), instructions=0
+            )
+
+
+class TestFOA:
+    def test_high_frequency_program_keeps_more_of_its_hits(self):
+        model = FOAModel()
+        heavy = _uniform_demand("heavy", accesses=1600.0, misses=100.0)
+        light = _uniform_demand("light", accesses=200.0, misses=100.0)
+        estimates = model.estimate_by_name([heavy, light], LLC)
+        heavy_loss = estimates["heavy"].extra_conflict_misses / heavy.isolated_hits
+        light_loss = estimates["light"].extra_conflict_misses / light.isolated_hits
+        assert heavy_loss < light_loss
+
+    def test_equal_programs_share_equally(self):
+        model = FOAModel()
+        a = _uniform_demand("a")
+        b = _uniform_demand("b")
+        estimates = model.estimate([a, b], LLC)
+        assert estimates[0].extra_conflict_misses == pytest.approx(
+            estimates[1].extra_conflict_misses
+        )
+
+    def test_more_co_runners_mean_more_conflict_misses(self):
+        model = FOAModel()
+        two = model.estimate_by_name([_uniform_demand("p0"), _uniform_demand("p1")], LLC)
+        four = model.estimate_by_name(
+            [_uniform_demand(f"p{i}") for i in range(4)], LLC
+        )
+        assert four["p0"].extra_conflict_misses >= two["p0"].extra_conflict_misses
+
+    def test_zero_access_program_is_unaffected(self):
+        model = FOAModel()
+        idle = _demand("idle", [0.0] * 8, 0.0)
+        busy = _uniform_demand("busy")
+        estimates = model.estimate_by_name([idle, busy], LLC)
+        assert estimates["idle"].extra_conflict_misses == 0.0
+        # The busy program keeps essentially the whole cache.
+        assert estimates["busy"].extra_conflict_misses == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        accesses=st.lists(
+            st.floats(min_value=10.0, max_value=5_000.0), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_estimates_always_bounded_by_access_counts(self, accesses):
+        model = FOAModel()
+        demands = [
+            _uniform_demand(f"p{i}", accesses=value, misses=value * 0.1)
+            for i, value in enumerate(accesses)
+        ]
+        for estimate, demand in zip(model.estimate(demands, LLC), demands):
+            assert demand.isolated_misses - 1e-6 <= estimate.shared_misses
+            assert estimate.shared_misses <= demand.accesses + 1e-6
+
+
+class TestSDCCompetitionAndProb:
+    def test_sdc_competition_awards_ways_to_the_hotter_program(self):
+        model = StackDistanceCompetitionModel()
+        hot = _uniform_demand("hot", accesses=2000.0, misses=100.0)
+        cold = _uniform_demand("cold", accesses=100.0, misses=20.0)
+        estimates = model.estimate_by_name([hot, cold], LLC)
+        hot_loss = estimates["hot"].extra_conflict_misses / hot.isolated_hits
+        cold_loss = estimates["cold"].extra_conflict_misses / cold.isolated_hits
+        assert hot_loss <= cold_loss
+
+    def test_prob_model_dilation_grows_with_co_runner_traffic(self):
+        model = InductiveProbabilityModel()
+        victim = _deep_demand("victim")
+        light_other = _uniform_demand("other", accesses=100.0, misses=50.0)
+        heavy_other = _uniform_demand("other", accesses=3000.0, misses=1500.0)
+        light = model.estimate_by_name([victim, light_other], LLC)["victim"]
+        heavy = model.estimate_by_name([victim, heavy_other], LLC)["victim"]
+        assert heavy.extra_conflict_misses >= light.extra_conflict_misses
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("foa", FOAModel), ("sdc", StackDistanceCompetitionModel), ("prob", InductiveProbabilityModel)],
+    )
+    def test_make_contention_model(self, name, cls):
+        assert isinstance(make_contention_model(name), cls)
+        assert isinstance(make_contention_model(name.upper()), cls)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_contention_model("oracle")

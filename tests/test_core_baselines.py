@@ -1,0 +1,61 @@
+"""Unit tests for the baseline predictors (no-contention and one-shot)."""
+
+import pytest
+
+from repro.core import MPPM
+from repro.core.baselines import NoContentionPredictor, OneShotContentionPredictor
+from repro.workloads import WorkloadMix
+
+
+class TestNoContentionPredictor:
+    def test_every_program_keeps_its_single_core_cpi(self, machine4, profiles4):
+        predictor = NoContentionPredictor(machine4)
+        prediction = predictor.predict(
+            [profiles4[name] for name in ("gamess", "hmmer", "soplex", "mcf")]
+        )
+        assert prediction.iterations == 0
+        for program in prediction.programs:
+            assert program.slowdown == pytest.approx(1.0)
+        assert prediction.system_throughput == pytest.approx(4.0)
+        assert prediction.average_normalized_turnaround_time == pytest.approx(1.0)
+
+    def test_predict_mix_and_empty_input(self, machine4, profiles4):
+        predictor = NoContentionPredictor(machine4)
+        mix = WorkloadMix(programs=("gamess", "hmmer"))
+        prediction = predictor.predict_mix(mix, profiles4)
+        assert prediction.num_programs == 2
+        with pytest.raises(ValueError):
+            predictor.predict([])
+
+
+class TestOneShotContentionPredictor:
+    def test_one_shot_sits_between_no_contention_and_full_mppm(self, machine4, profiles4):
+        profiles = [profiles4[name] for name in ("gamess", "gamess", "hmmer", "soplex")]
+        no_contention = NoContentionPredictor(machine4).predict(profiles)
+        one_shot = OneShotContentionPredictor(machine4).predict(profiles)
+        full = MPPM(machine4).predict(profiles)
+        # One-shot contention predicts *some* slowdown for the sensitive program...
+        assert one_shot.program("gamess").slowdown > 1.05
+        # ...and no predictor reports speedups.
+        for prediction in (no_contention, one_shot, full):
+            for program in prediction.programs:
+                assert program.slowdown >= 1.0 - 1e-9
+        # ANTT ordering: ignoring contention is the most optimistic view.
+        assert (
+            no_contention.average_normalized_turnaround_time
+            <= one_shot.average_normalized_turnaround_time + 1e-9
+        )
+
+    def test_unaffected_program_stays_unaffected(self, machine4, profiles4):
+        profiles = [profiles4[name] for name in ("hmmer", "gamess", "soplex", "mcf")]
+        one_shot = OneShotContentionPredictor(machine4).predict(profiles)
+        assert one_shot.program("hmmer").slowdown < 1.2
+        assert one_shot.iterations == 1
+
+    def test_predict_mix_and_empty_input(self, machine4, profiles4):
+        predictor = OneShotContentionPredictor(machine4)
+        mix = WorkloadMix(programs=("gamess", "soplex"))
+        prediction = predictor.predict_mix(mix, profiles4)
+        assert {p.name for p in prediction.programs} == {"gamess", "soplex"}
+        with pytest.raises(ValueError):
+            predictor.predict([])

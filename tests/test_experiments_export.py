@@ -1,0 +1,98 @@
+"""Unit tests for CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    ExportError,
+    export_result,
+    rows_to_csv,
+    rows_to_json,
+    series_to_csv,
+)
+
+
+ROWS = [
+    {"config": "#1", "stp": 3.5, "antt": 1.2},
+    {"config": "#2", "stp": 3.4},
+]
+
+
+class TestRowsToCSV:
+    def test_roundtrip_preserves_rows_and_column_order(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "table.csv")
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == ["config", "stp", "antt"]
+            loaded = list(reader)
+        assert loaded[0]["config"] == "#1"
+        assert loaded[1]["antt"] == ""  # missing cell renders empty
+        assert float(loaded[1]["stp"]) == pytest.approx(3.4)
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            rows_to_csv([], tmp_path / "empty.csv")
+
+
+class TestSeriesToCSV:
+    def test_series_columns_are_written_in_order(self, tmp_path):
+        path = series_to_csv(
+            {"measured": [1.0, 2.0], "predicted": [1.1, 2.1]}, tmp_path / "fig9.csv"
+        )
+        with path.open() as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0] == "index,measured,predicted"
+        assert lines[1].startswith("0,1.0,1.1")
+        assert len(lines) == 3
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            series_to_csv({"a": [1.0], "b": [1.0, 2.0]}, tmp_path / "bad.csv")
+        with pytest.raises(ExportError):
+            series_to_csv({}, tmp_path / "bad.csv")
+        with pytest.raises(ExportError):
+            series_to_csv({"a": []}, tmp_path / "bad.csv")
+
+
+class TestRowsToJSON:
+    def test_json_roundtrip(self, tmp_path):
+        path = rows_to_json(ROWS, tmp_path / "table.json")
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["stp"] == pytest.approx(3.5)
+        assert len(loaded) == 2
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            rows_to_json([], tmp_path / "empty.json")
+
+
+class TestExportResult:
+    def test_exports_any_object_with_to_rows(self, tmp_path):
+        class FakeResult:
+            def to_rows(self):
+                return ROWS
+
+        paths = export_result(FakeResult(), tmp_path / "out", "fig4")
+        assert {path.name for path in paths} == {"fig4.csv", "fig4.json"}
+        for path in paths:
+            assert path.exists()
+
+    def test_object_without_to_rows_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            export_result(object(), tmp_path, "x")
+
+    def test_export_real_experiment_result(self, tmp_path, machine4):
+        """A real experiment result (workload-space report) exports cleanly."""
+        from repro.experiments import ExperimentConfig, ExperimentSetup
+        from repro.experiments.workload_space import workload_space_report
+        from repro.workloads import small_suite
+
+        setup = ExperimentSetup(
+            config=ExperimentConfig(num_instructions=20_000, interval_instructions=1_000),
+            suite=small_suite(5),
+        )
+        report = workload_space_report(setup, core_counts=[2, 4])
+        paths = export_result(report, tmp_path, "workload_space")
+        assert all(path.stat().st_size > 0 for path in paths)

@@ -1,0 +1,92 @@
+"""Unit tests for the shared experiment setup (caching, machines, classification)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentSetup, default_setup
+from repro.workloads import BenchmarkClass, WorkloadMix, small_suite
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    """A fast setup: 6 benchmarks, short traces."""
+    return ExperimentSetup(
+        config=ExperimentConfig(scale=16, num_instructions=30_000, interval_instructions=1_000),
+        suite=small_suite(6),
+    )
+
+
+class TestExperimentConfig:
+    def test_defaults_are_consistent(self):
+        config = ExperimentConfig()
+        assert config.num_instructions % config.interval_instructions == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(scale=0),
+            dict(num_instructions=0),
+            dict(interval_instructions=0),
+            dict(num_instructions=1_000, interval_instructions=300),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+
+class TestExperimentSetup:
+    def test_machines_are_scaled_table2_configs(self, small_setup):
+        machine = small_setup.machine(num_cores=4, llc_config=1)
+        assert machine.num_cores == 4
+        assert "config #1" in machine.name
+        # Scaled by 16: the 512KB LLC becomes 32KB.
+        assert machine.llc.size_bytes == 512 * 1024 // 16
+        design_space = small_setup.design_space()
+        assert len(design_space) == 6
+
+    def test_profiles_are_cached_per_machine(self, small_setup):
+        machine = small_setup.machine()
+        first = small_setup.profiles(machine)
+        second = small_setup.profiles(machine)
+        assert first is second
+        assert set(first) == set(small_setup.benchmark_names)
+
+    def test_profiles_shared_across_core_counts(self, small_setup):
+        four_core = small_setup.machine(num_cores=4)
+        eight_core = small_setup.machine(num_cores=8)
+        assert small_setup.profiles(four_core) is small_setup.profiles(eight_core)
+
+    def test_simulation_results_are_cached(self, small_setup):
+        machine = small_setup.machine()
+        mix = WorkloadMix(programs=tuple(small_setup.benchmark_names[:4]))
+        before = small_setup.reference_runs()
+        first = small_setup.simulate(mix, machine)
+        second = small_setup.simulate(mix, machine)
+        assert first is second
+        assert small_setup.reference_runs() == before + 1
+
+    def test_predictions_are_cached_only_for_default_model(self, small_setup):
+        from repro.core import MPPMConfig
+
+        machine = small_setup.machine()
+        mix = WorkloadMix(programs=tuple(small_setup.benchmark_names[:4]))
+        first = small_setup.predict(mix, machine)
+        second = small_setup.predict(mix, machine)
+        assert first is second
+        custom = small_setup.predict(mix, machine, mppm_config=MPPMConfig(smoothing=0.9))
+        assert custom is not first
+
+    def test_simulate_adapts_machine_core_count_to_mix_size(self, small_setup):
+        machine = small_setup.machine(num_cores=4)
+        mix = WorkloadMix(programs=tuple(small_setup.benchmark_names[:2]))
+        result = small_setup.simulate(mix, machine)
+        assert result.num_cores == 2
+
+    def test_classification_covers_all_benchmarks(self, small_setup):
+        classes = small_setup.classification()
+        assert set(classes) == set(small_setup.benchmark_names)
+        assert all(isinstance(value, BenchmarkClass) for value in classes.values())
+
+    def test_default_setup_is_shared(self):
+        assert default_setup() is default_setup()
+        assert default_setup(seed=1) is not default_setup(seed=0)

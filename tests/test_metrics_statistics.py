@@ -1,0 +1,125 @@
+"""Unit and property tests for confidence intervals and rank statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.statistics import (
+    StatisticsError,
+    bootstrap_confidence_interval,
+    confidence_interval,
+    mean_confidence_halfwidth_pct,
+    rank_of,
+    spearman_rank_correlation,
+)
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_the_sample_mean(self):
+        samples = [3.0, 3.2, 3.4, 3.1, 3.3]
+        interval = confidence_interval(samples)
+        assert interval.lower <= interval.mean <= interval.upper
+        assert interval.contains(interval.mean)
+        assert interval.num_samples == 5
+        assert interval.confidence == 0.95
+
+    def test_more_samples_tighten_the_interval(self):
+        rng = np.random.default_rng(0)
+        population = rng.normal(loc=3.5, scale=0.4, size=200)
+        small = confidence_interval(population[:10])
+        large = confidence_interval(population)
+        assert large.halfwidth < small.halfwidth
+        assert large.halfwidth_pct_of_mean < small.halfwidth_pct_of_mean
+
+    def test_halfwidth_pct_helper(self):
+        samples = [10.0, 10.5, 9.5, 10.2, 9.8]
+        pct = mean_confidence_halfwidth_pct(samples)
+        interval = confidence_interval(samples)
+        assert pct == pytest.approx(100.0 * interval.halfwidth / interval.mean)
+
+    def test_zero_variance_gives_zero_width(self):
+        interval = confidence_interval([2.0] * 10)
+        assert interval.halfwidth == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            confidence_interval([1.0])
+        with pytest.raises(StatisticsError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    @given(
+        samples=st.lists(st.floats(min_value=1.0, max_value=10.0), min_size=3, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interval_always_brackets_the_mean(self, samples):
+        interval = confidence_interval(samples)
+        assert interval.lower - 1e-9 <= np.mean(samples) <= interval.upper + 1e-9
+
+
+class TestBootstrap:
+    def test_bootstrap_interval_brackets_the_mean_and_is_deterministic(self):
+        samples = list(np.random.default_rng(1).normal(5.0, 1.0, size=40))
+        first = bootstrap_confidence_interval(samples, seed=7)
+        second = bootstrap_confidence_interval(samples, seed=7)
+        assert first.lower <= first.mean <= first.upper
+        assert first.lower == second.lower and first.upper == second.upper
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(StatisticsError):
+            bootstrap_confidence_interval([1.0])
+        with pytest.raises(StatisticsError):
+            bootstrap_confidence_interval([1.0, 2.0], confidence=0.0)
+
+
+class TestRanking:
+    def test_rank_of_orders_best_first(self):
+        values = [3.0, 1.0, 2.0]
+        assert rank_of(values, higher_is_better=True) == [0, 2, 1]
+        assert rank_of(values, higher_is_better=False) == [2, 0, 1]
+        with pytest.raises(StatisticsError):
+            rank_of([])
+
+    def test_spearman_known_cases(self):
+        assert spearman_rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman_rank_correlation([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+        # A single swapped pair lowers but does not destroy the correlation.
+        partial = spearman_rank_correlation([1, 2, 3, 4], [10, 20, 40, 30])
+        assert 0.5 < partial < 1.0
+
+    def test_spearman_handles_ties(self):
+        value = spearman_rank_correlation([1.0, 1.0, 2.0], [1.0, 1.0, 3.0])
+        assert value == pytest.approx(1.0)
+
+    def test_spearman_with_constant_series(self):
+        assert spearman_rank_correlation([1.0, 1.0, 1.0], [1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert spearman_rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_spearman_validation(self):
+        with pytest.raises(StatisticsError):
+            spearman_rank_correlation([1.0], [1.0])
+        with pytest.raises(StatisticsError):
+            spearman_rank_correlation([1.0, 2.0], [1.0])
+
+    def test_spearman_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        first = list(rng.normal(size=30))
+        second = list(rng.normal(size=30))
+        ours = spearman_rank_correlation(first, second)
+        theirs = scipy_stats.spearmanr(first, second).correlation
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=2, max_size=20, unique=True
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_spearman_is_symmetric_and_bounded(self, values):
+        other = list(reversed(values))
+        forward = spearman_rank_correlation(values, other)
+        backward = spearman_rank_correlation(other, values)
+        assert forward == pytest.approx(backward)
+        assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+        assert spearman_rank_correlation(values, values) == pytest.approx(1.0)

@@ -1,0 +1,65 @@
+"""Unit tests for the LLC access trace type."""
+
+import numpy as np
+import pytest
+
+from repro.simulators.llc_trace import LLCAccessTrace, LLCTraceError
+from repro.workloads.benchmark import BenchmarkSpec
+
+
+def _trace(num_accesses=10, num_instructions=1_000, **overrides):
+    kwargs = dict(
+        spec=BenchmarkSpec(name="llc-test"),
+        num_instructions=num_instructions,
+        line=np.arange(num_accesses, dtype=np.int64),
+        insn=np.linspace(0, num_instructions - 1, num_accesses).astype(np.int64),
+        upstream_cycle_gap=np.full(num_accesses, 5.0),
+        tail_cycles=10.0,
+        isolated_cycles=2_000.0,
+    )
+    kwargs.update(overrides)
+    return LLCAccessTrace(**kwargs)
+
+
+class TestLLCAccessTrace:
+    def test_derived_quantities(self):
+        trace = _trace(num_accesses=20, num_instructions=2_000)
+        assert trace.name == "llc-test"
+        assert trace.num_llc_accesses == 20
+        assert trace.llc_accesses_per_kilo_instruction == pytest.approx(10.0)
+        assert trace.isolated_cpi == pytest.approx(1.0)
+        assert trace.total_upstream_cycles == pytest.approx(20 * 5.0 + 10.0)
+        assert "llc-test" in trace.describe()
+
+    def test_array_lengths_must_match(self):
+        with pytest.raises(LLCTraceError):
+            _trace(line=np.arange(5, dtype=np.int64))
+
+    def test_empty_trace_is_rejected(self):
+        with pytest.raises(LLCTraceError):
+            _trace(
+                num_accesses=0,
+                line=np.array([], dtype=np.int64),
+                insn=np.array([], dtype=np.int64),
+                upstream_cycle_gap=np.array([], dtype=np.float64),
+            )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(num_instructions=0),
+            dict(tail_cycles=-1.0),
+            dict(isolated_cycles=0.0),
+        ],
+    )
+    def test_invalid_scalars_rejected(self, overrides):
+        with pytest.raises(LLCTraceError):
+            _trace(**overrides)
+
+    def test_real_traces_from_the_store_are_consistent(self, store, tiny_suite, machine4):
+        for name in ("gamess", "hmmer"):
+            trace = store.get_llc_trace(tiny_suite[name], machine4)
+            profile = store.get_profile(tiny_suite[name], machine4)
+            assert trace.num_instructions == profile.num_instructions
+            assert trace.isolated_cpi == pytest.approx(profile.cpi)
+            assert trace.num_llc_accesses == pytest.approx(profile.total_llc_accesses)
