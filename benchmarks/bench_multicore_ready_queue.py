@@ -1,0 +1,60 @@
+"""Benchmark guard: the heapq ready queue versus the linear min-scan.
+
+The multi-core reference simulator picks, per LLC access, the core
+whose next access is ready earliest.  The historical implementation
+scanned all cores (O(num_cores) per access); the default now keeps a
+binary heap (O(log num_cores)).  This guard times both variants on the
+same 8-core mix and asserts (generously, to stay robust on noisy
+machines) that the heap is not slower — on wider machines the gap
+grows with the core count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.simulators import MultiCoreSimulator
+from repro.workloads import sample_mixes
+
+
+def _eight_core_traces(setup):
+    machine = setup.machine(num_cores=8, llc_config=1)
+    mix = sample_mixes(setup.benchmark_names, 8, 1, seed=7)[0]
+    return machine, setup.llc_traces(mix, machine)
+
+
+@pytest.mark.parametrize("ready_queue", ["heap", "scan"])
+def test_ready_queue_variants(benchmark, setup, ready_queue):
+    machine, traces = _eight_core_traces(setup)
+    simulator = MultiCoreSimulator(machine, ready_queue=ready_queue)
+    result = run_once(benchmark, simulator.run, traces)
+    assert result.num_cores == 8
+
+
+def test_heap_is_not_slower_than_scan(setup):
+    """The guard: median-of-three timings, with a generous 1.25x margin."""
+    machine, traces = _eight_core_traces(setup)
+
+    def median_seconds(simulator):
+        timings = []
+        for _ in range(3):
+            start = time.perf_counter()
+            simulator.run(traces)
+            timings.append(time.perf_counter() - start)
+        return sorted(timings)[1]
+
+    heap_seconds = median_seconds(MultiCoreSimulator(machine, ready_queue="heap"))
+    scan_seconds = median_seconds(MultiCoreSimulator(machine, ready_queue="scan"))
+    assert heap_seconds <= 1.25 * scan_seconds, (
+        f"heap ready queue regressed: {heap_seconds:.4f}s vs scan {scan_seconds:.4f}s"
+    )
+
+
+def test_heap_and_scan_agree_at_experiment_scale(setup):
+    machine, traces = _eight_core_traces(setup)
+    heap_result = MultiCoreSimulator(machine, ready_queue="heap").run(traces)
+    scan_result = MultiCoreSimulator(machine, ready_queue="scan").run(traces)
+    assert heap_result == scan_result

@@ -20,6 +20,8 @@ The package layers, bottom-up:
 * :mod:`repro.core` — MPPM itself,
 * :mod:`repro.metrics` — STP/ANTT, errors, confidence intervals,
   Spearman rank correlation,
+* :mod:`repro.engine` — the parallel experiment engine (job graphs,
+  serial/process-pool backends, persistent result cache),
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
 Quick start::

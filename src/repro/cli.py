@@ -17,9 +17,15 @@ The CLI wraps the most common workflows behind one executable
     workload mixes.
 ``stress``
     Scan a sample of mixes with MPPM and report the worst-STP ones.
+``run``
+    The unified experiment pipeline: run whole paper experiments
+    (accuracy, ranking, agreement, stress, variability, space) through
+    the parallel engine, with ``--jobs N`` workers and a persistent
+    ``--cache-dir``.
 
 All commands accept ``--benchmarks``, ``--instructions``, ``--scale``
-and ``--seed`` to control the experiment setup; the defaults match the
+and ``--seed`` to control the experiment setup, plus ``--jobs`` and
+``--cache-dir`` to control the engine; the defaults match the
 benchmark suite in ``benchmarks/``.
 """
 
@@ -27,10 +33,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import ConsoleReporter, create_engine
 from repro.experiments import ExperimentConfig, ExperimentSetup
 from repro.experiments.reporting import format_table
 from repro.workloads import WorkloadMix, sample_mixes, small_suite, spec_cpu2006_like_suite
@@ -49,7 +57,16 @@ def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
         interval_instructions=max(1, args.instructions // 50),
         seed=args.seed,
     )
-    return ExperimentSetup(config=config, suite=suite)
+    reporter = ConsoleReporter() if getattr(args, "progress", False) else None
+    engine = create_engine(jobs=args.jobs, cache_dir=args.cache_dir, reporter=reporter)
+    return ExperimentSetup(config=config, suite=suite, engine=engine, cache_dir=args.cache_dir)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -76,6 +93,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         choices=range(1, 7),
         help="Table 2 LLC configuration number (default: 1)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="engine worker processes; 1 runs everything in-process (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent cache directory for profiles and engine results (default: none)",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -83,8 +111,20 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _command_suite(args: argparse.Namespace) -> int:
-    setup = _build_setup(args)
+def _with_setup(handler):
+    """Build the setup for a command and release its engine afterwards."""
+
+    def wrapped(args: argparse.Namespace) -> int:
+        setup = _build_setup(args)
+        try:
+            return handler(args, setup)
+        finally:
+            setup.close()
+
+    return wrapped
+
+
+def _command_suite(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     classes = classify_suite(setup.suite)
     rows = [
         {
@@ -101,8 +141,7 @@ def _command_suite(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_profile(args: argparse.Namespace) -> int:
-    setup = _build_setup(args)
+def _command_profile(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     machine = setup.machine(num_cores=1, llc_config=args.llc_config)
     names = args.names or setup.benchmark_names
     unknown = [name for name in names if name not in setup.suite]
@@ -134,8 +173,7 @@ def _mix_from_args(args: argparse.Namespace, setup: ExperimentSetup) -> Optional
     return WorkloadMix(programs=tuple(args.programs))
 
 
-def _command_predict(args: argparse.Namespace) -> int:
-    setup = _build_setup(args)
+def _command_predict(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     mix = _mix_from_args(args, setup)
     if mix is None:
         return 2
@@ -145,8 +183,7 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_compare(args: argparse.Namespace) -> int:
-    setup = _build_setup(args)
+def _command_compare(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     mix = _mix_from_args(args, setup)
     if mix is None:
         return 2
@@ -184,18 +221,25 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_rank(args: argparse.Namespace) -> int:
-    setup = _build_setup(args)
+def _command_rank(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
+    machines = setup.design_space(num_cores=args.cores)
+    predictions = setup.predict_batch(
+        [(mix, machine) for machine in machines for mix in mixes]
+    )
     rows = []
-    for machine in setup.design_space(num_cores=args.cores):
-        predictions = [setup.predict(mix, machine) for mix in mixes]
+    for i, machine in enumerate(machines):
+        machine_predictions = predictions[i * len(mixes) : (i + 1) * len(mixes)]
         rows.append(
             {
                 "LLC": machine.name,
-                "avg_STP": float(np.mean([p.system_throughput for p in predictions])),
+                "avg_STP": float(
+                    np.mean([p.system_throughput for p in machine_predictions])
+                ),
                 "avg_ANTT": float(
-                    np.mean([p.average_normalized_turnaround_time for p in predictions])
+                    np.mean(
+                        [p.average_normalized_turnaround_time for p in machine_predictions]
+                    )
                 ),
             }
         )
@@ -212,11 +256,10 @@ def _command_rank(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_stress(args: argparse.Namespace) -> int:
-    setup = _build_setup(args)
+def _command_stress(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     machine = setup.machine(num_cores=args.cores, llc_config=args.llc_config)
     mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
-    scored = [(setup.predict(mix, machine), mix) for mix in mixes]
+    scored = list(zip(setup.predict_many(mixes, machine), mixes))
     scored.sort(key=lambda pair: pair[0].system_throughput)
     rows = []
     for prediction, mix in scored[: args.worst]:
@@ -239,6 +282,87 @@ def _command_stress(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Experiments the unified pipeline knows how to run, in run order.
+RUN_EXPERIMENTS = ("space", "variability", "accuracy", "ranking", "agreement", "stress")
+
+
+def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
+    """The unified pipeline: paper experiments through the engine."""
+    from repro.experiments.accuracy import accuracy_experiment
+    from repro.experiments.agreement import agreement_experiment
+    from repro.experiments.ranking import ranking_experiment
+    from repro.experiments.stress import stress_experiment
+    from repro.experiments.variability import variability_experiment
+    from repro.experiments.workload_space import workload_space_report
+
+    try:
+        core_counts = [int(part) for part in args.cores.split(",") if part]
+    except ValueError:
+        core_counts = []
+    if not core_counts or any(cores <= 0 for cores in core_counts):
+        print(
+            f"error: --cores must be comma-separated positive integers, got {args.cores!r}",
+            file=sys.stderr,
+        )
+        return 2
+    mixes = args.mixes
+    trials = max(2, mixes // 4)
+
+    def run_experiment(name: str):
+        if name == "space":
+            return workload_space_report(setup, measure_costs=True)
+        if name == "variability":
+            return variability_experiment(
+                setup, num_cores=core_counts[-1], max_mixes=mixes, seed=args.seed + 11
+            )
+        if name == "accuracy":
+            return accuracy_experiment(
+                setup,
+                core_counts=core_counts,
+                mixes_per_core_count=mixes,
+                seed=args.seed + 23,
+            )
+        if name == "ranking":
+            return ranking_experiment(
+                setup,
+                num_cores=core_counts[-1],
+                num_trials=trials,
+                mixes_per_trial=max(3, mixes // 4),
+                reference_mixes=mixes,
+                mppm_mixes=4 * mixes,
+                seed=args.seed + 41,
+            )
+        if name == "agreement":
+            return agreement_experiment(
+                setup,
+                num_cores=core_counts[-1],
+                num_trials=trials,
+                mixes_per_trial=max(3, mixes // 4),
+                reference_mixes=mixes,
+                mppm_mixes=4 * mixes,
+                seed=args.seed + 53,
+            )
+        return stress_experiment(
+            setup,
+            num_cores=core_counts[-1],
+            num_mixes=2 * mixes,
+            worst_k=max(3, mixes // 4),
+            seed=args.seed + 61,
+        )
+
+    if not args.experiments or "all" in args.experiments:
+        selected = RUN_EXPERIMENTS
+    else:
+        selected = tuple(args.experiments)
+    for name in selected:
+        start = time.perf_counter()
+        result = run_experiment(name)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name}] finished in {elapsed:.1f}s with --jobs {args.jobs}\n")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -254,24 +378,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite_parser = subparsers.add_parser("suite", help="list the benchmark suite")
     _add_common_arguments(suite_parser)
-    suite_parser.set_defaults(handler=_command_suite)
+    suite_parser.set_defaults(handler=_with_setup(_command_suite))
 
     profile_parser = subparsers.add_parser("profile", help="print single-core profiles")
     _add_common_arguments(profile_parser)
     profile_parser.add_argument("names", nargs="*", help="benchmarks to profile (default: all)")
-    profile_parser.set_defaults(handler=_command_profile)
+    profile_parser.set_defaults(handler=_with_setup(_command_profile))
 
     predict_parser = subparsers.add_parser("predict", help="run MPPM on one workload mix")
     _add_common_arguments(predict_parser)
     predict_parser.add_argument("programs", nargs="+", help="benchmark names, one per core")
-    predict_parser.set_defaults(handler=_command_predict)
+    predict_parser.set_defaults(handler=_with_setup(_command_predict))
 
     compare_parser = subparsers.add_parser(
         "compare", help="run MPPM and the detailed reference on one mix"
     )
     _add_common_arguments(compare_parser)
     compare_parser.add_argument("programs", nargs="+", help="benchmark names, one per core")
-    compare_parser.set_defaults(handler=_command_compare)
+    compare_parser.set_defaults(handler=_with_setup(_command_compare))
 
     rank_parser = subparsers.add_parser("rank", help="rank the Table 2 LLC configurations")
     _add_common_arguments(rank_parser)
@@ -279,7 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     rank_parser.add_argument(
         "--mixes", type=int, default=100, help="number of mixes MPPM evaluates (default: 100)"
     )
-    rank_parser.set_defaults(handler=_command_rank)
+    rank_parser.set_defaults(handler=_with_setup(_command_rank))
 
     stress_parser = subparsers.add_parser("stress", help="find worst-case (stress) workload mixes")
     _add_common_arguments(stress_parser)
@@ -290,7 +414,35 @@ def build_parser() -> argparse.ArgumentParser:
     stress_parser.add_argument(
         "--worst", type=int, default=10, help="how many worst mixes to report (default: 10)"
     )
-    stress_parser.set_defaults(handler=_command_stress)
+    stress_parser.set_defaults(handler=_with_setup(_command_stress))
+
+    run_parser = subparsers.add_parser(
+        "run", help="run whole paper experiments through the parallel engine"
+    )
+    _add_common_arguments(run_parser)
+    run_parser.add_argument(
+        "--experiment",
+        dest="experiments",
+        action="append",
+        choices=RUN_EXPERIMENTS + ("all",),
+        default=None,
+        help="experiment to run; repeatable (default: all)",
+    )
+    run_parser.add_argument(
+        "--mixes",
+        type=_positive_int,
+        default=12,
+        help="base mix-sample size each experiment is scaled from (default: 12)",
+    )
+    run_parser.add_argument(
+        "--cores",
+        default="2,4",
+        help="comma-separated core counts for the accuracy sweep (default: 2,4)",
+    )
+    run_parser.add_argument(
+        "--progress", action="store_true", help="print a live engine job counter to stderr"
+    )
+    run_parser.set_defaults(handler=_with_setup(_command_run), experiments=None)
 
     return parser
 

@@ -90,6 +90,67 @@ class MixPrediction:
     def by_core(self) -> Dict[int, ProgramPrediction]:
         return {program.core: program for program in self.programs}
 
+    # ------------------------------------------------------------------
+    # Serialisation (for the engine's persistent result cache)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-data representation suitable for JSON."""
+        return {
+            "machine_name": self.machine_name,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "programs": [
+                {
+                    "name": program.name,
+                    "core": program.core,
+                    "single_core_cpi": program.single_core_cpi,
+                    "predicted_cpi": program.predicted_cpi,
+                }
+                for program in self.programs
+            ],
+            "history": [
+                {
+                    "iteration": record.iteration,
+                    "window_cycles": record.window_cycles,
+                    "slowdowns": list(record.slowdowns),
+                    "instructions_executed": list(record.instructions_executed),
+                }
+                for record in self.history
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MixPrediction":
+        """Inverse of :meth:`to_dict`."""
+        programs = tuple(
+            ProgramPrediction(
+                name=entry["name"],
+                core=int(entry["core"]),
+                single_core_cpi=float(entry["single_core_cpi"]),
+                predicted_cpi=float(entry["predicted_cpi"]),
+            )
+            for entry in data["programs"]
+        )
+        history = tuple(
+            IterationRecord(
+                iteration=int(entry["iteration"]),
+                window_cycles=float(entry["window_cycles"]),
+                slowdowns=tuple(float(value) for value in entry["slowdowns"]),
+                instructions_executed=tuple(
+                    float(value) for value in entry["instructions_executed"]
+                ),
+            )
+            for entry in data["history"]
+        )
+        return cls(
+            machine_name=data["machine_name"],
+            programs=programs,
+            iterations=int(data["iterations"]),
+            converged=bool(data["converged"]),
+            history=history,
+        )
+
     def describe(self) -> str:
         lines = [
             f"MPPM prediction on {self.machine_name} "

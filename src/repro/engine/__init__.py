@@ -1,0 +1,69 @@
+"""The parallel experiment engine.
+
+The engine turns an experiment campaign — thousands of independent
+profile / reference-simulation / MPPM-prediction units — into a
+:class:`JobGraph` executed by an :class:`Executor` on an
+interchangeable backend (:class:`SerialBackend` or
+:class:`ProcessPoolBackend`), through a persistent :class:`ResultCache`
+keyed by content hashes of everything a result depends on.
+
+Guarantees:
+
+* **Determinism** — results are ordered by job submission order, never
+  completion order; a serial and a parallel run of the same graph are
+  bit-identical.
+* **Memoisation** — cached results are returned without recomputation,
+  within a process and (with a cache directory) across processes.
+* **Observability** — every job's fate is reported through a
+  :class:`ProgressReporter` hook.
+
+This is the seam every scaling direction plugs into: a new backend
+(sharded, async, remote) only has to run picklable jobs in submission
+order.
+"""
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.backends import ExecutorBackend, ProcessPoolBackend, SerialBackend
+from repro.engine.cache import MISS, ResultCache, content_key, register_result_type
+from repro.engine.executor import Executor
+from repro.engine.job import Job, JobGraph, JobGraphError
+from repro.engine.progress import CollectingReporter, ConsoleReporter, ProgressReporter
+
+__all__ = [
+    "Job",
+    "JobGraph",
+    "JobGraphError",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "Executor",
+    "ResultCache",
+    "MISS",
+    "content_key",
+    "register_result_type",
+    "ProgressReporter",
+    "ConsoleReporter",
+    "CollectingReporter",
+    "create_engine",
+]
+
+
+def create_engine(
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    reporter: Optional[ProgressReporter] = None,
+) -> Executor:
+    """Build an executor from the two knobs every caller has.
+
+    ``jobs`` selects the backend (1 → serial, N → a process pool of N
+    workers); ``cache_dir`` is the campaign cache directory — engine
+    results are persisted under ``<cache_dir>/results``, next to the
+    profile store's ``<cache_dir>/profiles``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    backend: ExecutorBackend = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
+    cache = ResultCache(Path(cache_dir) / "results") if cache_dir is not None else None
+    return Executor(backend=backend, cache=cache, reporter=reporter)

@@ -1,0 +1,191 @@
+"""The executor: graphs in, deterministically ordered results out.
+
+The executor ties together the four engine pieces: it resolves jobs
+against the :class:`~repro.engine.cache.ResultCache`, prunes optional
+warm-up jobs nobody needs, runs the remaining waves on the configured
+backend (deduplicating identical work within a wave), stores fresh
+results back into the cache, and reports progress throughout.
+
+Execution is deterministic by construction: results are keyed and
+ordered by job submission order, never by completion order, so a
+serial run and a parallel run of the same graph produce bit-identical
+result sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.engine.backends import ExecutorBackend, SerialBackend
+from repro.engine.cache import MISS, ResultCache
+from repro.engine.job import Job, JobGraph
+from repro.engine.progress import ProgressReporter
+
+
+class Executor:
+    """Runs job graphs on a backend, through an optional result cache.
+
+    Parameters
+    ----------
+    backend:
+        Where jobs execute; defaults to :class:`SerialBackend`.
+    cache:
+        Optional :class:`ResultCache` consulted before any job runs.
+    reporter:
+        Optional :class:`ProgressReporter` receiving per-job events.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[ExecutorBackend] = None,
+        cache: Optional[ResultCache] = None,
+        reporter: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.cache = cache
+        self.reporter = reporter if reporter is not None else ProgressReporter()
+
+    @property
+    def jobs(self) -> int:
+        """Worker count of the backend (1 for serial execution)."""
+        return self.backend.jobs
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, graph: Union[JobGraph, Iterable[Job]]) -> Dict[str, Any]:
+        """Execute a graph; returns ``{job key: result}`` in submission order.
+
+        Optional (warm-up) jobs that were skipped do not appear in the
+        result mapping.
+        """
+        if not isinstance(graph, JobGraph):
+            graph = JobGraph(graph)
+        waves = graph.waves()
+
+        self.reporter.on_start(len(graph))
+        results: Dict[str, Any] = {}
+        cached_keys = self._resolve_from_cache(graph, results)
+        skipped_jobs = self._prune_optional(graph, cached_keys)
+        skipped = {job.key for job in skipped_jobs}
+        for job in skipped_jobs:
+            self.reporter.on_job(job, "skipped")
+
+        for wave in waves:
+            pending = [job for job in wave if job.key not in results and job.key not in skipped]
+            self._run_wave(pending, results)
+        self.reporter.on_finish()
+
+        # Deterministic ordering: submission order of the graph.
+        return {job.key: results[job.key] for job in graph if job.key in results}
+
+    def map(self, jobs: Sequence[Job]) -> List[Any]:
+        """Run independent jobs; results in the order the jobs were given."""
+        results = self.run(JobGraph(jobs))
+        return [results[job.key] for job in jobs]
+
+    def is_cached(self, cache_key: Optional[str]) -> bool:
+        """Whether a content key would hit the result cache (no side effects)."""
+        return cache_key is not None and self.cache is not None and cache_key in self.cache
+
+    def refresh_workers(self) -> None:
+        """Recycle backend workers (see :meth:`ExecutorBackend.refresh`)."""
+        self.backend.refresh()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internal phases
+    # ------------------------------------------------------------------
+
+    def _resolve_from_cache(self, graph: JobGraph, results: Dict[str, Any]) -> set:
+        """Fill ``results`` with cache hits; returns the hit keys."""
+        hits: set = set()
+        if self.cache is None:
+            return hits
+        for job in graph:
+            if job.cache_key is None:
+                continue
+            value = self.cache.get(job.cache_key)
+            if value is not MISS:
+                results[job.key] = value
+                hits.add(job.key)
+                self.reporter.on_job(job, "cached")
+        return hits
+
+    def _prune_optional(self, graph: JobGraph, cached: set) -> List[Job]:
+        """Optional jobs are dropped when no surviving job depends on them.
+
+        A fully warm cache therefore performs *zero* computation: the
+        mix jobs resolve from the cache and the profile warm-up wave is
+        skipped entirely.
+        """
+        optional = [job for job in graph if job.optional and job.key not in cached]
+        if not optional:
+            return []
+        needed: set = set()
+        for job in graph:
+            if job.key in cached or job.optional:
+                continue
+            stack = list(job.deps)
+            while stack:
+                dep = stack.pop()
+                if dep in needed:
+                    continue
+                needed.add(dep)
+                stack.extend(graph.job(dep).deps)
+        return [job for job in optional if job.key not in needed]
+
+    def _run_wave(self, wave: Sequence[Job], results: Dict[str, Any]) -> None:
+        if not wave:
+            return
+        # Re-check the cache: an earlier wave may have stored a result
+        # under the same content key (repeated mixes across trials).
+        pending: List[Job] = []
+        for job in wave:
+            if self.cache is not None and job.cache_key is not None:
+                value = self.cache.get(job.cache_key)
+                if value is not MISS:
+                    results[job.key] = value
+                    self.reporter.on_job(job, "cached")
+                    continue
+            pending.append(job)
+
+        # Deduplicate identical work within the wave by content key.
+        representatives: List[Job] = []
+        aliases: Dict[str, List[Job]] = {}
+        seen: Dict[str, Job] = {}
+        for job in pending:
+            if job.cache_key is not None and job.cache_key in seen:
+                aliases.setdefault(seen[job.cache_key].key, []).append(job)
+                continue
+            if job.cache_key is not None:
+                seen[job.cache_key] = job
+            representatives.append(job)
+
+        local = [job for job in representatives if job.local]
+        pooled = [job for job in representatives if not job.local]
+        # Local (warm-up) jobs run first so a lazily forked pool
+        # inherits their side effects.
+        local_results = SerialBackend().run(local)
+        pooled_results = self.backend.run(pooled)
+
+        for job, value in zip(local + pooled, local_results + pooled_results):
+            self._record(job, value, results)
+            for alias in aliases.get(job.key, ()):
+                results[alias.key] = value
+                self.reporter.on_job(alias, "shared")
+
+    def _record(self, job: Job, value: Any, results: Dict[str, Any]) -> None:
+        results[job.key] = value
+        if self.cache is not None and job.cache_key is not None:
+            self.cache.put(job.cache_key, value)
+        self.reporter.on_job(job, "done")

@@ -1,0 +1,253 @@
+"""Picklable experiment tasks and their job constructors.
+
+A job that must run in a process-pool worker cannot close over an
+:class:`~repro.experiments.setup.ExperimentSetup` (the setup holds
+caches, a profiler and possibly a process pool of its own).  Instead,
+every task carries the setup's *recipe* — its token, its
+:class:`ExperimentConfig`, its suite and its cache directory — and
+resolves it through a per-process registry:
+
+* in the submitting process (serial backend, local jobs) the token maps
+  to the live setup, so in-memory caches keep working exactly as for
+  the inline code paths;
+* in a forked worker the registry — including the live setup and every
+  profile it had already computed — is inherited at fork time;
+* in a spawned worker (or a fork that predates the setup) the setup is
+  rebuilt once from the recipe and reused for every subsequent task the
+  worker executes; with a cache directory configured it loads profiles
+  from disk instead of re-simulating them.
+
+The ``*_job`` constructors build :class:`~repro.engine.job.Job` objects
+with content-hash cache keys covering everything the result depends on:
+machine configuration, benchmark/mix specification, model configuration,
+trace length and seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.engine.cache import content_key
+from repro.engine.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.machine import MachineConfig
+    from repro.core.mppm import MPPMConfig
+    from repro.core.result import MixPrediction
+    from repro.experiments.setup import ExperimentConfig, ExperimentSetup
+    from repro.profiling.profile import SingleCoreProfile
+    from repro.simulators.multi_core import MultiCoreRunResult
+    from repro.workloads.benchmark import BenchmarkSpec
+    from repro.workloads.mixes import WorkloadMix
+    from repro.workloads.suite import BenchmarkSuite
+
+#: Setups registered by the parent process (weak: tests create many).
+_REGISTERED: "weakref.WeakValueDictionary[str, ExperimentSetup]" = weakref.WeakValueDictionary()
+#: Setups reconstructed inside a worker process (strong: reused across tasks).
+_RECONSTRUCTED: dict = {}
+_TOKENS = itertools.count()
+
+
+def register_setup(setup: "ExperimentSetup") -> str:
+    """Register a live setup; returns the token tasks use to find it."""
+    token = f"setup-{os.getpid()}-{next(_TOKENS)}"
+    _REGISTERED[token] = setup
+    return token
+
+
+def _resolve_setup(
+    token: str,
+    config: "ExperimentConfig",
+    suite: "BenchmarkSuite",
+    cache_dir: Optional[str],
+) -> "ExperimentSetup":
+    setup = _REGISTERED.get(token)
+    if setup is None:
+        setup = _RECONSTRUCTED.get(token)
+    if setup is None:
+        from repro.experiments.setup import ExperimentSetup
+
+        setup = ExperimentSetup(config=config, suite=suite, cache_dir=cache_dir)
+        _RECONSTRUCTED[token] = setup
+    return setup
+
+
+# ---------------------------------------------------------------------------
+# Task functions (top-level, picklable)
+# ---------------------------------------------------------------------------
+
+
+def profile_task(
+    token: str,
+    config: "ExperimentConfig",
+    suite: "BenchmarkSuite",
+    cache_dir: Optional[str],
+    spec: "BenchmarkSpec",
+    machine: "MachineConfig",
+) -> "SingleCoreProfile":
+    setup = _resolve_setup(token, config, suite, cache_dir)
+    return setup.store.get_profile(spec, machine)
+
+
+def profile_bundle_task(
+    token: str,
+    config: "ExperimentConfig",
+    suite: "BenchmarkSuite",
+    cache_dir: Optional[str],
+    spec: "BenchmarkSpec",
+    machine: "MachineConfig",
+):
+    """Profile one benchmark and return the full (profile, LLC trace) bundle.
+
+    Unlike :func:`profile_task` — whose point is the *side effect* of a
+    warm store in the executing process — this task returns everything
+    the submitting process needs to adopt the profile into its own
+    store (:meth:`ProfileStore.absorb`), so the one-time profiling cost
+    itself can fan out over pool workers.
+    """
+    setup = _resolve_setup(token, config, suite, cache_dir)
+    return setup.store.get(spec, machine)
+
+
+def simulate_task(
+    token: str,
+    config: "ExperimentConfig",
+    suite: "BenchmarkSuite",
+    cache_dir: Optional[str],
+    mix: "WorkloadMix",
+    machine: "MachineConfig",
+) -> "MultiCoreRunResult":
+    setup = _resolve_setup(token, config, suite, cache_dir)
+    return setup.simulate(mix, machine)
+
+
+def predict_task(
+    token: str,
+    config: "ExperimentConfig",
+    suite: "BenchmarkSuite",
+    cache_dir: Optional[str],
+    mix: "WorkloadMix",
+    machine: "MachineConfig",
+    contention_model=None,
+    mppm_config: Optional["MPPMConfig"] = None,
+) -> "MixPrediction":
+    setup = _resolve_setup(token, config, suite, cache_dir)
+    return setup.predict(mix, machine, contention_model=contention_model, mppm_config=mppm_config)
+
+
+# ---------------------------------------------------------------------------
+# Job constructors
+# ---------------------------------------------------------------------------
+
+
+def _recipe(setup: "ExperimentSetup") -> Tuple:
+    cache_dir = str(setup.cache_dir) if setup.cache_dir is not None else None
+    return (setup.token, setup.config, setup.suite, cache_dir)
+
+
+def _config_parts(setup: "ExperimentSetup") -> Tuple:
+    config = setup.config
+    return (config.num_instructions, config.interval_instructions, config.seed)
+
+
+def profile_job(
+    setup: "ExperimentSetup",
+    spec: "BenchmarkSpec",
+    machine: "MachineConfig",
+    key: Optional[str] = None,
+    optional: bool = False,
+) -> Job:
+    """Warm the profile store for one (benchmark, machine) pair.
+
+    Profile persistence is handled by the :class:`ProfileStore` itself,
+    so the job carries no result-cache key; it runs locally so forked
+    pool workers inherit the warm store.
+    """
+    return Job(
+        key=key if key is not None else f"profile:{machine.profile_key()}:{spec.name}",
+        fn=profile_task,
+        args=_recipe(setup) + (spec, machine),
+        kind="profile",
+        local=True,
+        optional=optional,
+    )
+
+
+def profile_bundle_job(
+    setup: "ExperimentSetup",
+    spec: "BenchmarkSpec",
+    machine: "MachineConfig",
+    key: str,
+) -> Job:
+    """Profile one (benchmark, machine) pair on a pool worker."""
+    return Job(
+        key=key,
+        fn=profile_bundle_task,
+        args=_recipe(setup) + (spec, machine),
+        kind="profile",
+    )
+
+
+def simulate_job(
+    setup: "ExperimentSetup",
+    mix: "WorkloadMix",
+    machine: "MachineConfig",
+    key: str,
+    deps: Tuple[str, ...] = (),
+) -> Job:
+    """Reference-simulate one mix on one machine (result-cached)."""
+    cache_key = content_key(
+        "simulate",
+        machine.profile_key(),
+        mix.num_programs,
+        mix.programs,
+        *_config_parts(setup),
+    )
+    return Job(
+        key=key,
+        fn=simulate_task,
+        args=_recipe(setup) + (mix, machine),
+        deps=deps,
+        kind="simulate",
+        cache_key=cache_key,
+    )
+
+
+def predict_job(
+    setup: "ExperimentSetup",
+    mix: "WorkloadMix",
+    machine: "MachineConfig",
+    key: str,
+    deps: Tuple[str, ...] = (),
+    contention_model=None,
+    mppm_config: Optional["MPPMConfig"] = None,
+) -> Job:
+    """MPPM-predict one mix on one machine.
+
+    Predictions are result-cached when they are a pure function of the
+    recipe: the default contention model, and either the default MPPM
+    configuration or an explicit (frozen, reproducibly ``repr``-able)
+    :class:`MPPMConfig`.  A custom contention model instance has no
+    content-stable representation, so those predictions always run.
+    """
+    cache_key = None
+    if contention_model is None:
+        cache_key = content_key(
+            "predict",
+            machine.profile_key(),
+            machine.num_cores,
+            mix.programs,
+            repr(mppm_config),
+            *_config_parts(setup),
+        )
+    return Job(
+        key=key,
+        fn=predict_task,
+        args=_recipe(setup) + (mix, machine, contention_model, mppm_config),
+        deps=deps,
+        kind="predict",
+        cache_key=cache_key,
+    )

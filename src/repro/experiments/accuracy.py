@@ -14,12 +14,12 @@ both MPPM and the detailed reference simulator and reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.experiments.reporting import format_table
-from repro.experiments.results import MixEvaluation, evaluate_mixes
+from repro.experiments.results import MixEvaluation
 from repro.experiments.setup import ExperimentSetup
 from repro.workloads import WorkloadMix, sample_mixes
 
@@ -127,28 +127,36 @@ def accuracy_experiment(
     mixes for 16 cores (configuration #4); the defaults are smaller so
     the whole benchmark suite stays fast, and are parameters so the
     paper's sizes can be requested.
+
+    All core counts are submitted to the engine as one job graph, so a
+    parallel setup overlaps the whole sweep, not just one core count.
     """
-    results: List[AccuracyForCoreCount] = []
+    groups: List[Tuple[int, int, List[WorkloadMix]]] = []
     for num_cores in core_counts:
-        machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
         mixes = sample_mixes(
             setup.benchmark_names, num_cores, mixes_per_core_count, seed=seed + num_cores
         )
-        evaluations = evaluate_mixes(setup, mixes, machine)
-        results.append(
-            AccuracyForCoreCount(
-                num_cores=num_cores, llc_config=llc_config, evaluations=evaluations
-            )
-        )
-
+        groups.append((num_cores, llc_config, mixes))
     if include_16_core:
-        machine = setup.machine(num_cores=16, llc_config=llc_config_16_core)
         mixes = sample_mixes(setup.benchmark_names, 16, mixes_16_core, seed=seed + 16)
-        evaluations = evaluate_mixes(setup, mixes, machine)
+        groups.append((16, llc_config_16_core, mixes))
+
+    pairs = [
+        (mix, setup.machine(num_cores=num_cores, llc_config=config))
+        for num_cores, config, mixes in groups
+        for mix in mixes
+    ]
+    evaluations = setup.evaluate_batch(pairs)
+
+    results: List[AccuracyForCoreCount] = []
+    offset = 0
+    for num_cores, config, mixes in groups:
         results.append(
             AccuracyForCoreCount(
-                num_cores=16, llc_config=llc_config_16_core, evaluations=evaluations
+                num_cores=num_cores,
+                llc_config=config,
+                evaluations=evaluations[offset : offset + len(mixes)],
             )
         )
-
+        offset += len(mixes)
     return AccuracyResult(per_core_count=results)

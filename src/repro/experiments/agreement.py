@@ -25,7 +25,11 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.experiments.ranking import DesignSpaceScores, _scores_from_mppm, _scores_from_simulation
+from repro.experiments.ranking import (
+    DesignSpaceScores,
+    _evaluate_mix_sets,
+    _scores_from_mppm,
+)
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.workloads import BenchmarkClass, sample_category_mixes, sample_mixes
@@ -113,12 +117,6 @@ def agreement_experiment(
     names = setup.benchmark_names
     classification = setup.classification()
 
-    reference = _scores_from_simulation(
-        setup,
-        sample_mixes(names, num_cores, reference_mixes, seed=seed),
-        machines,
-        label="reference",
-    )
     mppm_scores = _scores_from_mppm(
         setup,
         sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1),
@@ -126,18 +124,24 @@ def agreement_experiment(
         label="MPPM",
     )
 
-    trial_scores: List[DesignSpaceScores] = []
+    # The reference sweep and every current-practice trial go through
+    # the engine as one simulation job graph.
     per_category = max(1, mixes_per_trial // len(BenchmarkClass))
+    simulated_mix_sets = [sample_mixes(names, num_cores, reference_mixes, seed=seed)]
+    labels = ["reference"]
     for trial in range(num_trials):
-        trial_mixes = sample_category_mixes(
-            classification,
-            num_programs=num_cores,
-            mixes_per_category=per_category,
-            seed=seed + 100 + trial,
+        simulated_mix_sets.append(
+            sample_category_mixes(
+                classification,
+                num_programs=num_cores,
+                mixes_per_category=per_category,
+                seed=seed + 100 + trial,
+            )
         )
-        trial_scores.append(
-            _scores_from_simulation(setup, trial_mixes, machines, label=f"trial {trial + 1}")
-        )
+        labels.append(f"trial {trial + 1}")
+    reference, *trial_scores = _evaluate_mix_sets(
+        setup, simulated_mix_sets, machines, labels, method="simulate"
+    )
 
     baseline_index = reference.config_numbers.index(1)
     pairs: List[PairwiseAgreement] = []

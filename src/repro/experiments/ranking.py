@@ -127,23 +127,66 @@ class RankingResult:
         )
 
 
+def _config_numbers(machines: Sequence) -> List[int]:
+    return [int(machine.name.split("#")[1].split()[0]) for machine in machines]
+
+
+def _scores_from_results(
+    machines: Sequence, per_machine_results: List[List], label: str
+) -> DesignSpaceScores:
+    """Average STP/ANTT per design point from per-machine result lists."""
+    stp = [
+        float(np.mean([result.system_throughput for result in results]))
+        for results in per_machine_results
+    ]
+    antt = [
+        float(np.mean([result.average_normalized_turnaround_time for result in results]))
+        for results in per_machine_results
+    ]
+    return DesignSpaceScores(
+        label=label, config_numbers=_config_numbers(machines), stp=stp, antt=antt
+    )
+
+
+def _evaluate_mix_sets(
+    setup: ExperimentSetup,
+    mix_sets: Sequence[Sequence[WorkloadMix]],
+    machines: Sequence,
+    labels: Sequence[str],
+    method: str,
+) -> List[DesignSpaceScores]:
+    """Score several mix sets over the whole design space in ONE job graph.
+
+    Every (mix, machine) pair of every set becomes one engine job, so a
+    parallel setup overlaps the reference sweep and all trials instead
+    of processing them one design point at a time.
+    """
+    pairs = [
+        (mix, machine) for mixes in mix_sets for machine in machines for mix in mixes
+    ]
+    if method == "simulate":
+        results = setup.simulate_batch(pairs)
+    else:
+        results = setup.predict_batch(pairs)
+
+    scores: List[DesignSpaceScores] = []
+    offset = 0
+    for mixes, label in zip(mix_sets, labels):
+        per_machine = []
+        for _ in machines:
+            per_machine.append(results[offset : offset + len(mixes)])
+            offset += len(mixes)
+        scores.append(_scores_from_results(machines, per_machine, label))
+    return scores
+
+
 def _scores_from_simulation(
     setup: ExperimentSetup,
     mixes: Sequence[WorkloadMix],
     machines: Sequence,
     label: str,
 ) -> DesignSpaceScores:
-    stp, antt = [], []
-    for machine in machines:
-        runs = [setup.simulate(mix, machine) for mix in mixes]
-        stp.append(float(np.mean([run.system_throughput for run in runs])))
-        antt.append(float(np.mean([run.average_normalized_turnaround_time for run in runs])))
-    return DesignSpaceScores(
-        label=label,
-        config_numbers=[int(machine.name.split("#")[1].split()[0]) for machine in machines],
-        stp=stp,
-        antt=antt,
-    )
+    return _evaluate_mix_sets(setup, [mixes], machines, [label], method="simulate")[0]
 
 
 def _scores_from_mppm(
@@ -152,19 +195,7 @@ def _scores_from_mppm(
     machines: Sequence,
     label: str,
 ) -> DesignSpaceScores:
-    stp, antt = [], []
-    for machine in machines:
-        predictions = [setup.predict(mix, machine) for mix in mixes]
-        stp.append(float(np.mean([p.system_throughput for p in predictions])))
-        antt.append(
-            float(np.mean([p.average_normalized_turnaround_time for p in predictions]))
-        )
-    return DesignSpaceScores(
-        label=label,
-        config_numbers=[int(machine.name.split("#")[1].split()[0]) for machine in machines],
-        stp=stp,
-        antt=antt,
-    )
+    return _evaluate_mix_sets(setup, [mixes], machines, [label], method="predict")[0]
 
 
 def ranking_experiment(
@@ -198,7 +229,7 @@ def ranking_experiment(
     mppm_scores = _scores_from_mppm(setup, mppm_mix_list, machines, label="MPPM")
 
     classification = setup.classification()
-    trials = []
+    trial_mix_sets: List[Sequence[WorkloadMix]] = []
     for trial in range(num_trials):
         if policy == "random":
             trial_mixes = sample_mixes(
@@ -212,8 +243,13 @@ def ranking_experiment(
                 mixes_per_category=per_category,
                 seed=seed + 100 + trial,
             )
-        trials.append(
-            _scores_from_simulation(setup, trial_mixes, machines, label=f"trial {trial + 1}")
-        )
+        trial_mix_sets.append(trial_mixes)
+    trials = _evaluate_mix_sets(
+        setup,
+        trial_mix_sets,
+        machines,
+        [f"trial {trial + 1}" for trial in range(num_trials)],
+        method="simulate",
+    )
 
     return RankingResult(policy=policy, reference=reference, mppm=mppm_scores, trials=trials)

@@ -89,14 +89,7 @@ def evaluate_mixes(setup, mixes: Sequence[WorkloadMix], machine) -> List[MixEval
 
     ``setup`` is an :class:`repro.experiments.setup.ExperimentSetup`;
     the import is kept out of the signature to avoid a circular import.
+    The work is submitted through the setup's engine, so it fans out
+    over worker processes when the setup was built with ``jobs > 1``.
     """
-    evaluations = []
-    for mix in mixes:
-        evaluations.append(
-            MixEvaluation(
-                mix=mix,
-                predicted=setup.predict(mix, machine),
-                measured=setup.simulate(mix, machine),
-            )
-        )
-    return evaluations
+    return setup.evaluate_many(list(mixes), machine)

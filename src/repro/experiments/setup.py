@@ -7,18 +7,30 @@ of workload mixes.  :class:`ExperimentSetup` bundles them behind caches
 so that a whole benchmark session pays each single-core simulation and
 each reference multi-core simulation exactly once, mirroring the
 "one-time cost" structure of the paper's methodology.
+
+Bulk work goes through the :mod:`repro.engine`: the ``*_many`` /
+``*_batch`` methods express a sweep as a job graph (a local profile
+warm-up wave followed by one independent job per mix) and hand it to
+the setup's executor.  With the default serial backend this behaves
+exactly like the historical inline loops; with ``jobs=N`` the mix jobs
+fan out over a process pool, and with ``cache_dir`` set both profiles
+and mix results persist across processes — serial and parallel runs
+are bit-identical either way.
 """
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config import MachineConfig, llc_design_space, machine_with_llc, scaled
 from repro.contention.base import ContentionModel
 from repro.core import MPPM, MPPMConfig
 from repro.core.result import MixPrediction
+from repro.engine import Executor, JobGraph, create_engine
+from repro.engine import tasks as engine_tasks
 from repro.profiling import ProfileStore, SingleCoreProfile
 from repro.simulators import LLCAccessTrace, MultiCoreRunResult, MultiCoreSimulator
 from repro.workloads import (
@@ -28,6 +40,9 @@ from repro.workloads import (
     classify_suite,
     spec_cpu2006_like_suite,
 )
+
+#: One (mix, machine) unit of a bulk evaluation.
+MixJob = Tuple[WorkloadMix, MachineConfig]
 
 
 @dataclass(frozen=True)
@@ -67,20 +82,39 @@ class ExperimentSetup:
     suite:
         The benchmark suite; defaults to the full 29-benchmark
         SPEC CPU2006-like suite.
+    engine:
+        The :class:`~repro.engine.Executor` bulk evaluations run on.
+        Defaults to an engine built from ``jobs`` and ``cache_dir``.
+    jobs:
+        Worker count for the default engine (1 → serial in-process
+        execution, N → a process pool).  Ignored when ``engine`` is
+        given.
+    cache_dir:
+        Optional campaign cache directory: single-core profiles persist
+        under ``<cache_dir>/profiles`` and engine results (reference
+        simulations, MPPM predictions) under ``<cache_dir>/results``,
+        making repeated sweeps near-free across processes.
     """
 
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         suite: Optional[BenchmarkSuite] = None,
+        engine: Optional[Executor] = None,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig()
         self.suite = suite if suite is not None else spec_cpu2006_like_suite()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.store = ProfileStore(
             num_instructions=self.config.num_instructions,
             interval_instructions=self.config.interval_instructions,
             seed=self.config.seed,
+            cache_dir=self.cache_dir / "profiles" if self.cache_dir is not None else None,
         )
+        self.engine = engine if engine is not None else create_engine(jobs, self.cache_dir)
+        self.token = engine_tasks.register_setup(self)
         self._reference_cache: Dict[Tuple[Tuple[str, ...], str, int], MultiCoreRunResult] = {}
         self._prediction_cache: Dict[Tuple[Tuple[str, ...], str, int], MixPrediction] = {}
         self._profiles_cache: Dict[str, Dict[str, SingleCoreProfile]] = {}
@@ -154,7 +188,14 @@ class ExperimentSetup:
         if cacheable and key in self._prediction_cache:
             return self._prediction_cache[key]
         model = self.mppm(machine, contention_model=contention_model, mppm_config=mppm_config)
-        prediction = model.predict_mix(mix, self.profiles(machine))
+        # Only the mix's own profiles are needed; going through the
+        # store (rather than profiling the whole suite up front) keeps
+        # engine workers from paying for benchmarks they never touch.
+        profiles = {
+            name: self.store.get_profile(self.suite[name], machine)
+            for name in sorted(set(mix.programs))
+        }
+        prediction = model.predict_mix(mix, profiles)
         if cacheable:
             self._prediction_cache[key] = prediction
         return prediction
@@ -174,6 +215,168 @@ class ExperimentSetup:
     def reference_runs(self) -> int:
         """Number of detailed multi-core simulations performed so far."""
         return len(self._reference_cache)
+
+    # ------------------------------------------------------------------
+    # Bulk evaluation through the engine
+    # ------------------------------------------------------------------
+
+    def _mix_graph(
+        self,
+        pairs: Sequence[MixJob],
+        kinds: Sequence[str],
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> JobGraph:
+        """One graph for a sweep: a profile warm-up wave, then mix jobs.
+
+        The warm-up wave covers every (benchmark, machine) pair the
+        sweep touches, runs locally (so forked pool workers inherit the
+        warm profile store) and is optional (skipped when every mix job
+        is served from the result cache).
+        """
+        graph = JobGraph()
+        profile_keys: Dict[Tuple[str, str], str] = {}
+        for mix, machine in pairs:
+            for name in sorted(set(mix.programs)):
+                pair_key = (machine.profile_key(), name)
+                if pair_key not in profile_keys:
+                    job = graph.add(
+                        engine_tasks.profile_job(self, self.suite[name], machine, optional=True)
+                    )
+                    profile_keys[pair_key] = job.key
+        for i, (mix, machine) in enumerate(pairs):
+            deps = tuple(
+                profile_keys[(machine.profile_key(), name)] for name in sorted(set(mix.programs))
+            )
+            if "predict" in kinds:
+                graph.add(
+                    engine_tasks.predict_job(
+                        self,
+                        mix,
+                        machine,
+                        key=f"predict:{i}",
+                        deps=deps,
+                        contention_model=contention_model,
+                        mppm_config=mppm_config,
+                    )
+                )
+            if "simulate" in kinds:
+                graph.add(
+                    engine_tasks.simulate_job(self, mix, machine, key=f"simulate:{i}", deps=deps)
+                )
+        return graph
+
+    def _parallel_warm(self, graph: JobGraph) -> None:
+        """Fan the one-time profiling cost out over the worker pool.
+
+        The graph's own profile jobs are *local* (so forked workers
+        inherit the warm store), which serialises the dominant one-time
+        cost.  When the backend has real workers and at least one mix
+        job will actually run, this phase instead profiles every
+        missing (benchmark, machine) pair on the pool, absorbs the
+        returned bundles into the parent store, and recycles the
+        workers so the mix waves fork from the now-warm parent.
+        """
+        if self.engine.jobs <= 1:
+            return
+        uncached = [
+            job
+            for job in graph
+            if job.kind in ("predict", "simulate") and not self.engine.is_cached(job.cache_key)
+        ]
+        if not uncached:
+            return
+        # Which profile jobs do the surviving mix jobs depend on — and
+        # do any of them need the LLC trace (reference simulation) or
+        # just the profile (prediction)?  A disk-cached profile settles
+        # the latter without any simulation at all.
+        needs_profile = {dep for job in uncached for dep in job.deps}
+        needs_trace = {
+            dep for job in uncached if job.kind == "simulate" for dep in job.deps
+        }
+        needed = []
+        for job in graph:
+            if job.kind != "profile" or job.key not in needs_profile:
+                continue
+            spec, machine = job.args[-2], job.args[-1]
+            if self.store.has(spec, machine):
+                continue
+            if job.key not in needs_trace and self.store.load_if_cached(spec, machine):
+                continue
+            needed.append((spec, machine))
+        if not needed:
+            return
+        bundles = self.engine.map(
+            [
+                engine_tasks.profile_bundle_job(self, spec, machine, key=f"warm:{i}")
+                for i, (spec, machine) in enumerate(needed)
+            ]
+        )
+        for (spec, machine), profiled in zip(needed, bundles):
+            self.store.absorb(spec, machine, profiled)
+        self.engine.refresh_workers()
+
+    def _run_mix_graph(self, graph: JobGraph) -> Dict[str, object]:
+        self._parallel_warm(graph)
+        return self.engine.run(graph)
+
+    def predict_batch(
+        self,
+        pairs: Sequence[MixJob],
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> List[MixPrediction]:
+        """MPPM predictions for many (mix, machine) pairs, in input order."""
+        graph = self._mix_graph(pairs, ("predict",), contention_model, mppm_config)
+        results = self._run_mix_graph(graph)
+        return [results[f"predict:{i}"] for i in range(len(pairs))]
+
+    def simulate_batch(self, pairs: Sequence[MixJob]) -> List[MultiCoreRunResult]:
+        """Reference simulations for many (mix, machine) pairs, in input order."""
+        graph = self._mix_graph(pairs, ("simulate",))
+        results = self._run_mix_graph(graph)
+        return [results[f"simulate:{i}"] for i in range(len(pairs))]
+
+    def evaluate_batch(self, pairs: Sequence[MixJob]) -> List["MixEvaluation"]:
+        """Both MPPM and the reference for many (mix, machine) pairs."""
+        from repro.experiments.results import MixEvaluation
+
+        graph = self._mix_graph(pairs, ("predict", "simulate"))
+        results = self._run_mix_graph(graph)
+        return [
+            MixEvaluation(
+                mix=mix, predicted=results[f"predict:{i}"], measured=results[f"simulate:{i}"]
+            )
+            for i, (mix, machine) in enumerate(pairs)
+        ]
+
+    def predict_many(
+        self,
+        mixes: Sequence[WorkloadMix],
+        machine: MachineConfig,
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> List[MixPrediction]:
+        """MPPM predictions for many mixes on one machine."""
+        return self.predict_batch(
+            [(mix, machine) for mix in mixes], contention_model, mppm_config
+        )
+
+    def simulate_many(
+        self, mixes: Sequence[WorkloadMix], machine: MachineConfig
+    ) -> List[MultiCoreRunResult]:
+        """Reference simulations for many mixes on one machine."""
+        return self.simulate_batch([(mix, machine) for mix in mixes])
+
+    def evaluate_many(
+        self, mixes: Sequence[WorkloadMix], machine: MachineConfig
+    ) -> List["MixEvaluation"]:
+        """Predictions and reference simulations for many mixes on one machine."""
+        return self.evaluate_batch([(mix, machine) for mix in mixes])
+
+    def close(self) -> None:
+        """Release the engine's worker pool (idempotent; serial is a no-op)."""
+        self.engine.close()
 
 
 @functools.lru_cache(maxsize=4)

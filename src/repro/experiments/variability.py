@@ -100,17 +100,14 @@ def variability_experiment(
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, max_mixes, seed=seed)
 
-    stp_values: List[float] = []
-    antt_values: List[float] = []
-    for mix in mixes:
-        if source == "simulation":
-            run = setup.simulate(mix, machine)
-            stp_values.append(run.system_throughput)
-            antt_values.append(run.average_normalized_turnaround_time)
-        else:
-            prediction = setup.predict(mix, machine)
-            stp_values.append(prediction.system_throughput)
-            antt_values.append(prediction.average_normalized_turnaround_time)
+    if source == "simulation":
+        results = setup.simulate_many(mixes, machine)
+    else:
+        results = setup.predict_many(mixes, machine)
+    stp_values: List[float] = [result.system_throughput for result in results]
+    antt_values: List[float] = [
+        result.average_normalized_turnaround_time for result in results
+    ]
 
     if grid is None:
         grid = [n for n in (5, 10, 20, 30, 45, 60, 90, 120, 150) if n <= max_mixes]

@@ -17,11 +17,11 @@ Two kinds of artefacts are cached:
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.config.machine import MachineConfig
+from repro.io import atomic_write_json, read_json_tolerant
 from repro.profiling.profile import SingleCoreProfile
 from repro.profiling.profiler import ProfiledBenchmark, Profiler
 from repro.simulators.llc_trace import LLCAccessTrace
@@ -59,6 +59,7 @@ class ProfileStore:
         self._profilers: Dict[str, Profiler] = {}
         self.simulated_profiles = 0
         self.loaded_profiles = 0
+        self.absorbed_profiles = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -106,6 +107,44 @@ class ProfileStore:
     ) -> Dict[str, SingleCoreProfile]:
         """Profiles only, for every benchmark of a suite."""
         return {spec.name: self.get_profile(spec, machine) for spec in suite}
+
+    def has(self, spec: BenchmarkSpec, machine: MachineConfig) -> bool:
+        """Whether the pair has an in-memory profile (disk is not probed)."""
+        return self._key(spec, machine) in self._profiles
+
+    def load_if_cached(self, spec: BenchmarkSpec, machine: MachineConfig) -> bool:
+        """Pull the pair's profile into memory if it is cached anywhere.
+
+        Unlike :meth:`get_profile` this never simulates: it returns
+        ``True`` when the profile was already in memory or could be
+        loaded from disk, ``False`` otherwise.  Note a disk hit only
+        provides the profile — the LLC trace still requires a
+        simulation, so callers that need traces must not rely on this.
+        """
+        key = self._key(spec, machine)
+        if key in self._profiles:
+            return True
+        loaded = self._load_from_disk(spec, machine)
+        if loaded is None:
+            return False
+        self._profiles[key] = loaded
+        self.loaded_profiles += 1
+        return True
+
+    def absorb(
+        self, spec: BenchmarkSpec, machine: MachineConfig, profiled: ProfiledBenchmark
+    ) -> None:
+        """Adopt a profile computed elsewhere (e.g. by an engine worker).
+
+        The artefacts enter the in-memory and on-disk caches exactly as
+        if this store had simulated them, but ``simulated_profiles`` is
+        untouched — the simulation work was paid in another process.
+        """
+        key = self._key(spec, machine)
+        self._profiles[key] = profiled.profile
+        self._traces[key] = profiled.llc_trace
+        self.absorbed_profiles += 1
+        self._save_to_disk(spec, profiled.profile)
 
     def cached_pairs(self) -> int:
         """Number of (benchmark, machine) pairs with an in-memory profile."""
@@ -162,15 +201,15 @@ class ProfileStore:
         self, spec: BenchmarkSpec, machine: MachineConfig
     ) -> Optional[SingleCoreProfile]:
         path = self._disk_path(spec, machine.profile_key())
-        if path is None or not path.exists():
+        if path is None:
             return None
-        with path.open("r", encoding="utf-8") as handle:
-            data = json.load(handle)
+        data = read_json_tolerant(path)
+        if data is None:
+            return None
         return SingleCoreProfile.from_dict(data)
 
     def _save_to_disk(self, spec: BenchmarkSpec, profile: SingleCoreProfile) -> None:
         path = self._disk_path(spec, profile.machine_key)
         if path is None:
             return
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(profile.to_dict(), handle)
+        atomic_write_json(path, profile.to_dict())

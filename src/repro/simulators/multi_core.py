@@ -16,6 +16,7 @@ maintained, and each program's multi-core CPI is measured over its
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -101,6 +102,58 @@ class MultiCoreRunResult:
         """ANTT: average over programs of CPI_MC / CPI_SC."""
         return sum(stats.cpi / stats.isolated_cpi for stats in self.programs) / len(self.programs)
 
+    # ------------------------------------------------------------------
+    # Serialisation (for the engine's persistent result cache)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-data representation suitable for JSON."""
+        return {
+            "machine_name": self.machine_name,
+            "num_cores": self.num_cores,
+            "total_llc_accesses": self.total_llc_accesses,
+            "total_llc_misses": self.total_llc_misses,
+            "programs": [
+                {
+                    "name": stats.name,
+                    "core": stats.core,
+                    "num_instructions": stats.num_instructions,
+                    "cycles": stats.cycles,
+                    "isolated_cycles": stats.isolated_cycles,
+                    "llc_accesses_first_pass": stats.llc_accesses_first_pass,
+                    "llc_hits_first_pass": stats.llc_hits_first_pass,
+                    "llc_misses_first_pass": stats.llc_misses_first_pass,
+                    "passes_completed": stats.passes_completed,
+                }
+                for stats in self.programs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MultiCoreRunResult":
+        """Inverse of :meth:`to_dict`."""
+        programs = [
+            ProgramRunStats(
+                name=entry["name"],
+                core=int(entry["core"]),
+                num_instructions=int(entry["num_instructions"]),
+                cycles=float(entry["cycles"]),
+                isolated_cycles=float(entry["isolated_cycles"]),
+                llc_accesses_first_pass=int(entry["llc_accesses_first_pass"]),
+                llc_hits_first_pass=int(entry["llc_hits_first_pass"]),
+                llc_misses_first_pass=int(entry["llc_misses_first_pass"]),
+                passes_completed=int(entry["passes_completed"]),
+            )
+            for entry in data["programs"]
+        ]
+        return cls(
+            machine_name=data["machine_name"],
+            num_cores=int(data["num_cores"]),
+            programs=programs,
+            total_llc_accesses=int(data["total_llc_accesses"]),
+            total_llc_misses=int(data["total_llc_misses"]),
+        )
+
 
 #: Per-core offset added to line addresses so that two copies of the same
 #: benchmark running on different cores do not share data in the LLC.  The
@@ -115,11 +168,25 @@ _CORE_ADDRESS_OFFSET = (1 << 30) + 12_347
 
 
 class MultiCoreSimulator:
-    """Shared-LLC simulation of a multi-program workload mix."""
+    """Shared-LLC simulation of a multi-program workload mix.
 
-    def __init__(self, machine: MachineConfig, llc_policy: str = "lru") -> None:
+    ``ready_queue`` selects how the next LLC access in global time
+    order is found: ``"heap"`` (the default) keeps the per-core ready
+    times in a binary heap, which costs O(log num_cores) per access;
+    ``"scan"`` is the straightforward O(num_cores) linear minimum scan,
+    kept as the reference implementation for equivalence tests and the
+    ready-queue benchmark guard.  Both orderings break ties by core
+    index, so the two variants are bit-identical.
+    """
+
+    def __init__(
+        self, machine: MachineConfig, llc_policy: str = "lru", ready_queue: str = "heap"
+    ) -> None:
+        if ready_queue not in ("heap", "scan"):
+            raise MultiCoreSimulationError("ready_queue must be 'heap' or 'scan'")
         self.machine = machine
         self.llc_policy = llc_policy
+        self.ready_queue = ready_queue
 
     def run(self, llc_traces: Sequence[LLCAccessTrace]) -> MultiCoreRunResult:
         """Simulate one workload mix (one LLC trace per core)."""
@@ -153,19 +220,29 @@ class MultiCoreSimulator:
         tails = [trace.tail_cycles for trace in llc_traces]
 
         unfinished = num_cores
+        use_heap = self.ready_queue == "heap"
+        if use_heap:
+            # (ready time, core): the tuple ordering reproduces the
+            # scan's tie-break by lowest core index.
+            ready_heap = [
+                (cycle[core] + gaps[core][0], core) for core in range(num_cores)
+            ]
+            heapq.heapify(ready_heap)
 
         # Interleave LLC accesses in global time order: repeatedly pick the
         # core whose next LLC access is ready earliest.
         while unfinished:
-            best_core = -1
-            best_ready = math.inf
-            for core in range(num_cores):
-                ready = cycle[core] + gaps[core][index[core]]
-                if ready < best_ready:
-                    best_ready = ready
-                    best_core = core
+            if use_heap:
+                best_ready, core = heapq.heappop(ready_heap)
+            else:
+                core = -1
+                best_ready = math.inf
+                for candidate in range(num_cores):
+                    ready = cycle[candidate] + gaps[candidate][index[candidate]]
+                    if ready < best_ready:
+                        best_ready = ready
+                        core = candidate
 
-            core = best_core
             in_first_pass = first_pass_cycles[core] is None
             line = int(lines[core][index[core]]) + core * _CORE_ADDRESS_OFFSET
             hit = shared_llc.access(line).hit
@@ -193,6 +270,8 @@ class MultiCoreSimulator:
                 if in_first_pass:
                     first_pass_cycles[core] = cycle[core]
                     unfinished -= 1
+            if use_heap and unfinished:
+                heapq.heappush(ready_heap, (cycle[core] + gaps[core][index[core]], core))
 
         programs = []
         for core, trace in enumerate(llc_traces):

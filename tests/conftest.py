@@ -16,13 +16,7 @@ from repro.profiling import ProfileStore
 from repro.workloads import spec_cpu2006_like_suite, small_suite
 from repro.workloads.generator import TraceGenerator
 
-
-#: Trace length used throughout the tests (1/4 of the experiment default).
-TEST_INSTRUCTIONS = 50_000
-#: Profiling interval used throughout the tests (50 intervals per trace).
-TEST_INTERVAL = 1_000
-#: Cache scaling used throughout the tests.
-TEST_SCALE = 16
+from testdefaults import TEST_INSTRUCTIONS, TEST_INTERVAL, TEST_SCALE
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,252 @@
+"""Tests for the parallel experiment engine.
+
+The engine's three contracts are exercised end-to-end against the real
+experiment stack (at test scale):
+
+* **Determinism** — the process-pool backend returns bit-identical
+  results to the serial backend, in the same order.
+* **Memoisation** — a warm persistent :class:`ResultCache` answers a
+  repeated sweep with *zero* recomputation (no profiling, no reference
+  simulation, no MPPM iteration).
+* **Structure** — job graphs validate their dependencies and linearise
+  into deterministic waves; progress hooks see every job's fate.
+"""
+
+import pytest
+
+from repro.core.mppm import MPPM
+from repro.engine import (
+    CollectingReporter,
+    Executor,
+    Job,
+    JobGraph,
+    JobGraphError,
+    MISS,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    content_key,
+    create_engine,
+)
+from repro.experiments import ExperimentConfig, ExperimentSetup
+from repro.simulators.multi_core import MultiCoreSimulator
+from repro.workloads import sample_mixes, small_suite
+
+
+ENGINE_CONFIG = ExperimentConfig(scale=16, num_instructions=20_000, interval_instructions=1_000)
+
+
+def engine_setup(**kwargs) -> ExperimentSetup:
+    return ExperimentSetup(config=ENGINE_CONFIG, suite=small_suite(5), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def mixes():
+    return sample_mixes(small_suite(5).names, 2, 6, seed=3)
+
+
+# ---------------------------------------------------------------------------
+# Job graph structure
+# ---------------------------------------------------------------------------
+
+
+def _noop() -> None:
+    return None
+
+
+class TestJobGraph:
+    def test_duplicate_keys_rejected(self):
+        graph = JobGraph([Job(key="a", fn=_noop)])
+        with pytest.raises(JobGraphError):
+            graph.add(Job(key="a", fn=_noop))
+
+    def test_missing_dependency_rejected(self):
+        graph = JobGraph([Job(key="a", fn=_noop, deps=("ghost",))])
+        with pytest.raises(JobGraphError):
+            graph.waves()
+
+    def test_cycle_rejected(self):
+        graph = JobGraph(
+            [Job(key="a", fn=_noop, deps=("b",)), Job(key="b", fn=_noop, deps=("a",))]
+        )
+        with pytest.raises(JobGraphError):
+            graph.waves()
+
+    def test_waves_respect_dependencies_and_submission_order(self):
+        graph = JobGraph(
+            [
+                Job(key="c", fn=_noop, deps=("a", "b")),
+                Job(key="a", fn=_noop),
+                Job(key="b", fn=_noop),
+                Job(key="d", fn=_noop, deps=("c",)),
+            ]
+        )
+        waves = [[job.key for job in wave] for wave in graph.waves()]
+        assert waves == [["a", "b"], ["c"], ["d"]]
+
+
+# ---------------------------------------------------------------------------
+# Backends: serial vs process pool
+# ---------------------------------------------------------------------------
+
+
+class TestSerialVersusProcessPool:
+    def test_predictions_are_bit_identical(self, mixes):
+        serial = engine_setup()
+        parallel = engine_setup(jobs=2)
+        machine = serial.machine(num_cores=2)
+        try:
+            serial_predictions = serial.predict_many(mixes, machine)
+            parallel_predictions = parallel.predict_many(mixes, machine)
+        finally:
+            parallel.close()
+        # Dataclass equality compares every float exactly: bit-identical.
+        assert serial_predictions == parallel_predictions
+
+    def test_evaluations_are_bit_identical(self, mixes):
+        serial = engine_setup()
+        parallel = engine_setup(jobs=2)
+        machine = serial.machine(num_cores=2)
+        try:
+            serial_evaluations = serial.evaluate_many(mixes, machine)
+            parallel_evaluations = parallel.evaluate_many(mixes, machine)
+        finally:
+            parallel.close()
+        for serial_one, parallel_one in zip(serial_evaluations, parallel_evaluations):
+            assert serial_one.mix == parallel_one.mix
+            assert serial_one.predicted == parallel_one.predicted
+            assert serial_one.measured == parallel_one.measured
+
+    def test_parallel_warm_phase_absorbs_worker_profiles(self, mixes):
+        parallel = engine_setup(jobs=2)
+        machine = parallel.machine(num_cores=2)
+        try:
+            parallel.predict_many(mixes, machine)
+        finally:
+            parallel.close()
+        # The one-time profiling cost was paid on the pool, not inline.
+        assert parallel.store.absorbed_profiles > 0
+        assert parallel.store.simulated_profiles == 0
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_content_key_is_stable_and_discriminating(self):
+        key = content_key("simulate", "machine", (1, 2), 42)
+        assert key == content_key("simulate", "machine", (1, 2), 42)
+        assert key != content_key("predict", "machine", (1, 2), 42)
+
+    def test_memory_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is MISS
+        cache.put("k", 123)
+        assert cache.get("k") == 123
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_disk_roundtrip_of_registered_types(self, tmp_path, mixes):
+        setup = engine_setup()
+        machine = setup.machine(num_cores=2)
+        prediction = setup.predict(mixes[0], machine)
+        measurement = setup.simulate(mixes[0], machine)
+
+        writer = ResultCache(tmp_path)
+        writer.put("prediction", prediction)
+        writer.put("measurement", measurement)
+
+        reader = ResultCache(tmp_path)
+        assert reader.get("prediction") == prediction
+        assert reader.get("measurement") == measurement
+        assert reader.loaded == 2
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / f"{'k'}.json").write_text("{not json", encoding="utf-8")
+        assert cache.get("k") is MISS
+
+    def test_warm_cache_performs_zero_recomputation(self, tmp_path, mixes, monkeypatch):
+        cache_dir = tmp_path / "campaign"
+        cold = engine_setup(cache_dir=cache_dir)
+        machine = cold.machine(num_cores=2)
+        cold_evaluations = cold.evaluate_many(mixes, machine)
+        assert cold.store.simulated_profiles > 0
+
+        # Any attempt to recompute would now blow up.
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("a warm cache must not recompute anything")
+
+        monkeypatch.setattr(MultiCoreSimulator, "run", forbidden)
+        monkeypatch.setattr(MPPM, "predict_mix", forbidden)
+        from repro.profiling.profiler import Profiler
+
+        monkeypatch.setattr(Profiler, "profile", forbidden)
+
+        warm = engine_setup(cache_dir=cache_dir)
+        warm_evaluations = warm.evaluate_many(mixes, machine)
+        assert warm.store.simulated_profiles == 0
+        assert warm.reference_runs() == 0
+        for cold_one, warm_one in zip(cold_evaluations, warm_evaluations):
+            assert cold_one.predicted == warm_one.predicted
+            assert cold_one.measured == warm_one.measured
+
+    def test_warm_cache_skips_the_profile_warmup_wave(self, tmp_path, mixes):
+        cache_dir = tmp_path / "campaign"
+        cold = engine_setup(cache_dir=cache_dir)
+        machine = cold.machine(num_cores=2)
+        cold.evaluate_many(mixes, machine)
+
+        reporter = CollectingReporter()
+        warm = engine_setup(
+            engine=create_engine(cache_dir=cache_dir, reporter=reporter), cache_dir=cache_dir
+        )
+        warm.evaluate_many(mixes, machine)
+        assert reporter.count("cached") == 2 * len(mixes)
+        assert reporter.count("done") == 0
+        assert reporter.count("skipped") > 0  # the optional profile wave
+        # Not even a disk profile was touched.
+        assert warm.store.loaded_profiles == 0 and warm.store.simulated_profiles == 0
+
+
+# ---------------------------------------------------------------------------
+# Executor behaviour
+# ---------------------------------------------------------------------------
+
+
+def _double(value: int) -> int:
+    return 2 * value
+
+
+class TestExecutor:
+    def test_results_keep_submission_order(self):
+        jobs = [Job(key=f"j{i}", fn=_double, args=(i,)) for i in range(20)]
+        with Executor(ProcessPoolBackend(2)) as executor:
+            assert executor.map(jobs) == [2 * i for i in range(20)]
+
+    def test_identical_cache_keys_are_deduplicated_within_a_wave(self):
+        reporter = CollectingReporter()
+        executor = Executor(
+            SerialBackend(), cache=ResultCache(), reporter=reporter
+        )
+        jobs = [
+            Job(key="first", fn=_double, args=(21,), cache_key="same"),
+            Job(key="second", fn=_double, args=(21,), cache_key="same"),
+        ]
+        results = executor.run(JobGraph(jobs))
+        assert results == {"first": 42, "second": 42}
+        assert reporter.count("done") == 1
+        assert reporter.count("shared") == 1
+
+    def test_progress_reporter_sees_every_job(self):
+        reporter = CollectingReporter()
+        executor = Executor(SerialBackend(), reporter=reporter)
+        executor.map([Job(key=f"j{i}", fn=_double, args=(i,)) for i in range(5)])
+        assert reporter.total_jobs == 5
+        assert reporter.count("done") == 5
+        assert reporter.finished
+
+    def test_create_engine_validates_jobs(self):
+        with pytest.raises(ValueError):
+            create_engine(jobs=0)

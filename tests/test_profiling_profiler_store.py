@@ -9,7 +9,7 @@ from repro.profiling.profiler import profile_from_run
 from repro.simulators.single_core import SingleCoreSimulator
 from repro.workloads.benchmark import ReuseProfile
 
-from conftest import TEST_INSTRUCTIONS, TEST_INTERVAL
+from testdefaults import TEST_INSTRUCTIONS, TEST_INTERVAL
 
 
 class TestProfiler:

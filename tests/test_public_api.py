@@ -32,6 +32,7 @@ class TestPublicSurface:
             "repro.contention",
             "repro.core",
             "repro.metrics",
+            "repro.engine",
             "repro.experiments",
             "repro.cli",
         ):
@@ -48,6 +49,7 @@ class TestPublicSurface:
             "repro.contention",
             "repro.core",
             "repro.metrics",
+            "repro.engine",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

@@ -6,7 +6,7 @@ import pytest
 from repro.simulators.single_core import SingleCoreSimulator
 from repro.workloads.generator import generate_trace
 
-from conftest import TEST_INSTRUCTIONS, TEST_INTERVAL
+from testdefaults import TEST_INSTRUCTIONS, TEST_INTERVAL
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,15 @@
+"""Shared scale constants for the test suite.
+
+These live in a module with a unique name (not ``conftest``) so that
+test modules can import them regardless of which directories pytest
+collected: a bare ``from conftest import ...`` resolves whichever
+``conftest.py`` happened to be imported first, which breaks as soon as
+``benchmarks/`` and ``tests/`` are collected together.
+"""
+
+#: Trace length used throughout the tests (1/4 of the experiment default).
+TEST_INSTRUCTIONS = 50_000
+#: Profiling interval used throughout the tests (50 intervals per trace).
+TEST_INTERVAL = 1_000
+#: Cache scaling used throughout the tests.
+TEST_SCALE = 16
