@@ -25,6 +25,12 @@ from repro.caches.stack_distance import (
     StackDistanceCounters,
     StackDistanceProfiler,
 )
+from repro.caches.vectorized import (
+    lru_hit_mask,
+    replay_hierarchy,
+    replay_private_levels,
+    stack_distances,
+)
 
 __all__ = [
     "ReplacementPolicy",
@@ -38,4 +44,8 @@ __all__ = [
     "HierarchyAccess",
     "StackDistanceCounters",
     "StackDistanceProfiler",
+    "lru_hit_mask",
+    "replay_hierarchy",
+    "replay_private_levels",
+    "stack_distances",
 ]

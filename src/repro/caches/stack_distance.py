@@ -17,8 +17,7 @@ access stream by maintaining an unbounded per-set LRU stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,34 +26,69 @@ class StackDistanceError(ValueError):
     """Raised for invalid stack-distance operations."""
 
 
-@dataclass
+def distance_slots(distances: np.ndarray, associativity: int) -> np.ndarray:
+    """Map 1-based stack distances to counter slots for an A-way cache.
+
+    Distance ``d`` in ``[1, A]`` lands in slot ``d - 1``; cold accesses
+    (``d <= 0``) and distances beyond the associativity land in the
+    ``C>A`` slot ``A``.  Shared by
+    :meth:`StackDistanceCounters.from_distances` and the simulator's
+    per-interval histograms; :meth:`StackDistanceCounters.record`
+    applies the same rule inline for scalars (it sits on the reference
+    kernel's per-access path), with the unit suite pinning the two
+    together.
+    """
+    if associativity <= 0:
+        raise StackDistanceError(f"associativity must be positive, got {associativity}")
+    distances = np.asarray(distances, dtype=np.int64)
+    return np.where(
+        (distances <= 0) | (distances > associativity), associativity, distances - 1
+    )
+
+
 class StackDistanceCounters:
     """The ``C1 .. CA, C>A`` counter vector for an A-way cache.
 
     ``counts[i]`` for ``i < associativity`` is the number of accesses
     that hit at LRU position ``i + 1``; ``counts[associativity]`` is
     ``C>A``, the number of accesses deeper than the associativity
-    (misses, including cold misses).
+    (misses, including cold misses).  Omitting ``counts`` starts an
+    all-zero vector.
     """
 
-    associativity: int
-    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.associativity <= 0:
+    def __init__(self, associativity: int, counts: Optional[np.ndarray] = None) -> None:
+        if associativity <= 0:
             raise StackDistanceError(
-                f"associativity must be positive, got {self.associativity}"
+                f"associativity must be positive, got {associativity}"
             )
-        if self.counts is None:
+        self.associativity = int(associativity)
+        if counts is None:
             self.counts = np.zeros(self.associativity + 1, dtype=np.float64)
         else:
-            self.counts = np.asarray(self.counts, dtype=np.float64)
+            self.counts = np.asarray(counts, dtype=np.float64)
             if self.counts.shape != (self.associativity + 1,):
                 raise StackDistanceError(
                     f"expected {self.associativity + 1} counters, got shape {self.counts.shape}"
                 )
             if (self.counts < 0).any():
                 raise StackDistanceError("counters must be non-negative")
+
+    @classmethod
+    def from_distances(
+        cls, distances: np.ndarray, associativity: int
+    ) -> "StackDistanceCounters":
+        """Build the counter vector from a batch of stack distances.
+
+        ``distances`` holds 1-based LRU stack distances with 0 encoding
+        a cold access, exactly as :meth:`record` takes them (and as
+        :func:`repro.caches.vectorized.stack_distances` produces them);
+        distances of 0 or greater than the associativity land in the
+        ``C>A`` counter.  One ``bincount`` replaces a per-access
+        recording loop.
+        """
+        slots = distance_slots(distances, associativity)
+        counts = np.bincount(slots, minlength=associativity + 1).astype(np.float64)
+        return cls(associativity=associativity, counts=counts)
 
     # ------------------------------------------------------------------
     # Recording and combining
@@ -64,7 +98,8 @@ class StackDistanceCounters:
         """Record one access at 1-based LRU stack ``distance`` (0 = cold miss).
 
         Distances of 0 (never seen before) or greater than the
-        associativity go to the ``C>A`` counter.
+        associativity go to the ``C>A`` counter — the scalar form of
+        :func:`distance_slots`.
         """
         if distance <= 0 or distance > self.associativity:
             self.counts[self.associativity] += 1
@@ -244,7 +279,9 @@ class StackDistanceProfiler:
 
         The per-set stacks are preserved — interval boundaries reset the
         counters, not the cache state, exactly as a real profiling run
-        would.
+        would.  The simulator now derives per-interval counters from
+        distance arrays instead; this stays as the ground-truth
+        statement of interval semantics, exercised by the unit suite.
         """
         snapshot = self.counters.copy()
         self.counters = StackDistanceCounters(associativity=self.associativity)

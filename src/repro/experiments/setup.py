@@ -32,7 +32,12 @@ from repro.core.result import MixPrediction
 from repro.engine import Executor, JobGraph, create_engine
 from repro.engine import tasks as engine_tasks
 from repro.profiling import ProfileStore, SingleCoreProfile
-from repro.simulators import LLCAccessTrace, MultiCoreRunResult, MultiCoreSimulator
+from repro.simulators import (
+    KERNELS as SINGLE_CORE_KERNELS,
+    LLCAccessTrace,
+    MultiCoreRunResult,
+    MultiCoreSimulator,
+)
 from repro.workloads import (
     BenchmarkClass,
     BenchmarkSuite,
@@ -59,10 +64,17 @@ class ExperimentConfig:
     num_instructions: int = 200_000
     interval_instructions: int = 4_000
     seed: int = 0
+    #: Single-core replay kernel ("vectorized" or "reference"); the two
+    #: are bit-identical, so the choice never invalidates cached results.
+    kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.kernel not in SINGLE_CORE_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {SINGLE_CORE_KERNELS}, got {self.kernel!r}"
+            )
         if self.num_instructions <= 0 or self.interval_instructions <= 0:
             raise ValueError("instruction counts must be positive")
         if self.num_instructions % self.interval_instructions != 0:
@@ -112,6 +124,7 @@ class ExperimentSetup:
             interval_instructions=self.config.interval_instructions,
             seed=self.config.seed,
             cache_dir=self.cache_dir / "profiles" if self.cache_dir is not None else None,
+            kernel=self.config.kernel,
         )
         self.engine = engine if engine is not None else create_engine(jobs, self.cache_dir)
         self.token = engine_tasks.register_setup(self)

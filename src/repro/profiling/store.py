@@ -34,9 +34,11 @@ class ProfileStore:
 
     Parameters
     ----------
-    num_instructions, interval_instructions, seed:
+    num_instructions, interval_instructions, seed, kernel:
         Passed through to the :class:`Profiler` when a profile has to
-        be produced.
+        be produced.  ``kernel`` selects the replay kernel
+        (``"vectorized"`` by default); both kernels yield bit-identical
+        profiles, so cached artefacts are shared between them.
     cache_dir:
         Optional directory for JSON persistence of profiles.
     """
@@ -47,10 +49,12 @@ class ProfileStore:
         interval_instructions: int = 4_000,
         seed: int = 0,
         cache_dir: Optional[Path] = None,
+        kernel: str = "vectorized",
     ) -> None:
         self.num_instructions = num_instructions
         self.interval_instructions = interval_instructions
         self.seed = seed
+        self.kernel = kernel
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -173,6 +177,7 @@ class ProfileStore:
                 num_instructions=self.num_instructions,
                 interval_instructions=self.interval_instructions,
                 seed=self.seed,
+                kernel=self.kernel,
             )
         return self._profilers[key]
 

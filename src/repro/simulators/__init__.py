@@ -17,7 +17,11 @@ simulator of the paper (see DESIGN.md, "Substitutions"):
 """
 
 from repro.simulators.llc_trace import LLCAccessTrace
-from repro.simulators.single_core import SingleCoreRunResult, SingleCoreSimulator
+from repro.simulators.single_core import (
+    KERNELS,
+    SingleCoreRunResult,
+    SingleCoreSimulator,
+)
 from repro.simulators.multi_core import (
     MultiCoreRunResult,
     MultiCoreSimulator,
@@ -25,6 +29,7 @@ from repro.simulators.multi_core import (
 )
 
 __all__ = [
+    "KERNELS",
     "LLCAccessTrace",
     "SingleCoreRunResult",
     "SingleCoreSimulator",

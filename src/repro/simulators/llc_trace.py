@@ -69,8 +69,15 @@ class LLCAccessTrace:
             )
         if self.num_instructions <= 0:
             raise LLCTraceError("num_instructions must be positive")
-        if self.tail_cycles < 0 or self.isolated_cycles <= 0:
-            raise LLCTraceError("cycle counts must be positive")
+        if self.tail_cycles < 0:
+            # Zero is legal: a trace may end right on its last LLC access.
+            raise LLCTraceError(
+                f"tail_cycles must be non-negative, got {self.tail_cycles}"
+            )
+        if self.isolated_cycles <= 0:
+            raise LLCTraceError(
+                f"isolated_cycles must be positive, got {self.isolated_cycles}"
+            )
 
     @property
     def name(self) -> str:

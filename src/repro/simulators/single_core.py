@@ -9,22 +9,49 @@ multi-core reference simulator replays.
 One :class:`SingleCoreSimulator.run` call produces everything at once:
 a :class:`SingleCoreRunResult` holding the interval measurements, the
 overall CPI stack and the :class:`LLCAccessTrace`.
+
+Two replay kernels produce the per-access outcomes:
+
+* ``"vectorized"`` (the default) resolves every cache level with
+  batched per-set stack distances (:mod:`repro.caches.vectorized`) —
+  a handful of array passes over the whole trace, exploiting that an
+  access hits an A-way LRU cache iff its stack distance is at most A;
+* ``"reference"`` walks every access through stateful
+  :class:`~repro.caches.hierarchy.CacheHierarchy` /
+  :class:`~repro.caches.stack_distance.StackDistanceProfiler` objects,
+  one at a time — the direct transcription of what profiling hardware
+  would observe, kept as the ground truth the fast kernel is tested
+  against.
+
+Both kernels emit the same outcome arrays (which level served each
+access, the filtered LLC stream and its stack distances) and share one
+assembly routine for all cycle accounting, so their
+:class:`SingleCoreRunResult`\\ s are bit-identical — asserted by the
+equivalence suite and guarded by ``benchmarks/bench_singlecore_kernel``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.caches.hierarchy import CacheHierarchy
-from repro.caches.stack_distance import StackDistanceCounters, StackDistanceProfiler
+from repro.caches.stack_distance import (
+    StackDistanceCounters,
+    StackDistanceProfiler,
+    distance_slots,
+)
+from repro.caches.vectorized import replay_hierarchy, replay_private_levels
 from repro.config.machine import MachineConfig
 from repro.cores.core_model import CoreTimingModel
 from repro.cores.cpi_stack import CPIStack
 from repro.simulators.llc_trace import LLCAccessTrace
 from repro.workloads.trace import MemoryTrace
+
+#: The replay kernels ``SingleCoreSimulator`` can use.
+KERNELS = ("vectorized", "reference")
 
 
 @dataclass(frozen=True)
@@ -97,84 +124,217 @@ class SingleCoreSimulator:
         Profiling interval length in dynamic instructions (the paper
         uses 20M out of 1B; the default of 4,000 out of 200,000 keeps
         the same 50-interval structure at our trace scale).
+    kernel:
+        Replay kernel: ``"vectorized"`` (default, batched stack
+        distances) or ``"reference"`` (per-access simulation).  The two
+        produce bit-identical results; the reference kernel exists as
+        ground truth and for non-LRU what-if studies.
     """
 
-    def __init__(self, machine: MachineConfig, interval_instructions: int = 4_000) -> None:
+    def __init__(
+        self,
+        machine: MachineConfig,
+        interval_instructions: int = 4_000,
+        kernel: str = "vectorized",
+    ) -> None:
         if interval_instructions <= 0:
             raise ValueError("interval_instructions must be positive")
         self.machine = machine
         self.interval_instructions = interval_instructions
+        self.kernel = self._validate_kernel(kernel)
 
-    def run(self, trace: MemoryTrace) -> SingleCoreRunResult:
-        """Simulate ``trace`` in isolation and collect the profile data."""
+    @staticmethod
+    def _validate_kernel(kernel: str) -> str:
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        return kernel
+
+    def run(self, trace: MemoryTrace, kernel: Optional[str] = None) -> SingleCoreRunResult:
+        """Simulate ``trace`` in isolation and collect the profile data.
+
+        ``kernel`` overrides the simulator's default replay kernel for
+        this run only.
+        """
+        kernel = self.kernel if kernel is None else self._validate_kernel(kernel)
+        if kernel == "vectorized":
+            served_level, llc_index, llc_distances = replay_hierarchy(
+                trace.access_line, self.machine
+            )
+        else:
+            served_level, llc_index, llc_distances = self._reference_outcomes(trace)
+        return self._assemble_result(trace, served_level, llc_index, llc_distances)
+
+    def run_with_perfect_llc(self, trace: MemoryTrace, kernel: Optional[str] = None) -> float:
+        """CPI of a run where every LLC access hits (the paper's perfect-LLC run).
+
+        The paper describes two ways of obtaining the memory CPI; the
+        two-run method subtracts the perfect-LLC CPI from the real CPI.
+        Our accounting method gives the same number directly, but this
+        run is kept for cross-validation in the test suite.
+        """
+        kernel = self.kernel if kernel is None else self._validate_kernel(kernel)
+        num_private = len(self.machine.private_levels)
+        if kernel == "vectorized":
+            # Private-level filtering only: every access that reaches the
+            # perfect LLC hits, so its stack distances are never needed.
+            served_level, llc_index, _ = replay_private_levels(
+                trace.access_line, self.machine
+            )
+        else:
+            served_level, llc_index, _ = self._reference_outcomes(
+                trace, collect_llc_distances=False
+            )
+        core_model = CoreTimingModel(self.machine, trace.spec)
+        # With a perfect LLC every access that reaches it is a hit, so
+        # the cycle count is a closed-form weighted sum of the level
+        # populations (identical for both kernels by construction).
+        cycles = float(trace.base_cycle_gap.sum()) + trace.tail_base_cycles
+        for level_index in range(num_private):
+            penalty = core_model.private_hit_penalty(level_index)
+            if penalty:
+                cycles += float(np.count_nonzero(served_level == level_index)) * penalty
+        cycles += float(len(llc_index)) * core_model.llc_hit_penalty
+        return cycles / trace.num_instructions
+
+    # ------------------------------------------------------------------
+    # Reference kernel: per-access stateful cache simulation
+    # ------------------------------------------------------------------
+
+    def _reference_outcomes(
+        self, trace: MemoryTrace, collect_llc_distances: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Walk every access through stateful cache objects, one at a time.
+
+        Produces the same outcome arrays as
+        :func:`repro.caches.vectorized.replay_hierarchy`: the level that
+        served each access, the filtered LLC stream and the per-set LLC
+        stack distance of each filtered access.  The perfect-LLC run
+        never consumes the distances and skips their collection.
+        """
+        machine = self.machine
+        hierarchy = CacheHierarchy(machine, include_llc=True)
+        sdc_profiler = (
+            StackDistanceProfiler(
+                num_sets=machine.llc.num_sets, associativity=machine.llc.associativity
+            )
+            if collect_llc_distances
+            else None
+        )
+        num_private = len(machine.private_levels)
+        access_line = trace.access_line
+        served_level = np.empty(trace.num_accesses, dtype=np.int64)
+        llc_index: List[int] = []
+        llc_distances: List[int] = []
+        for i in range(trace.num_accesses):
+            line = int(access_line[i])
+            outcome = hierarchy.access(line)
+            if not outcome.reached_llc:
+                served_level[i] = outcome.level_index
+                continue
+            llc_index.append(i)
+            if sdc_profiler is not None:
+                llc_distances.append(sdc_profiler.access(line))
+            served_level[i] = num_private if outcome.llc_hit else num_private + 1
+        return (
+            served_level,
+            np.asarray(llc_index, dtype=np.int64),
+            np.asarray(llc_distances, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Shared assembly: outcomes -> SingleCoreRunResult
+    # ------------------------------------------------------------------
+
+    def _assemble_result(
+        self,
+        trace: MemoryTrace,
+        served_level: np.ndarray,
+        llc_index: np.ndarray,
+        llc_distances: np.ndarray,
+    ) -> SingleCoreRunResult:
+        """Turn per-access outcomes into the run result.
+
+        All cycle accounting happens here, as weighted sums over the
+        outcome arrays; both kernels route through this method, which is
+        what makes their results bit-identical.
+        """
         machine = self.machine
         core_model = CoreTimingModel(machine, trace.spec)
-        hierarchy = CacheHierarchy(machine, include_llc=True)
-        sdc_profiler = StackDistanceProfiler(
-            num_sets=machine.llc.num_sets, associativity=machine.llc.associativity
-        )
+        num_private = len(machine.private_levels)
+        associativity = machine.llc.associativity
+        penalties = [core_model.private_hit_penalty(level) for level in range(num_private)]
+
+        # Leading-zero cumulative sums: sum over accesses [a, b) is c[b] - c[a].
+        # Full per-access cumsums are only needed where windows are cut at
+        # arbitrary positions (the LLC gap windows): base cycles, plus the
+        # populations of private levels with a non-zero exposed penalty.
+        cum_base = np.concatenate(([0.0], np.cumsum(trace.base_cycle_gap)))
+        cum_level = {
+            level: np.concatenate(([0], np.cumsum(served_level == level)))
+            for level in range(num_private)
+            if penalties[level]
+        }
+
+        # Filtered LLC stream: upstream cycles between consecutive LLC
+        # accesses are the base cycles of the window ending at (and
+        # including) each LLC access, plus the exposed private-hit
+        # penalties inside the window.
+        window_start = np.concatenate(([0], llc_index[:-1] + 1))
+        window_stop = llc_index + 1
+        gaps = cum_base[window_stop] - cum_base[window_start]
+        for level, cum in cum_level.items():
+            gaps = gaps + (cum[window_stop] - cum[window_start]) * penalties[level]
+
+        num_accesses = trace.num_accesses
+        tail_start = int(llc_index[-1]) + 1 if len(llc_index) else 0
+        tail_cycles = cum_base[num_accesses] - cum_base[tail_start]
+        for level, cum in cum_level.items():
+            tail_cycles += float(cum[num_accesses] - cum[tail_start]) * penalties[level]
+        tail_cycles += trace.tail_base_cycles
+
+        # Per-interval outcome populations and SDC counters, as fused
+        # histograms over (interval, outcome) pairs.
+        slices = trace.interval_slices(self.interval_instructions)
+        num_intervals = len(slices)
+        starts = np.fromiter((start for start, _ in slices), dtype=np.int64, count=num_intervals)
+        stops = np.fromiter((stop for _, stop in slices), dtype=np.int64, count=num_intervals)
+        interval_id = np.repeat(np.arange(num_intervals, dtype=np.int64), stops - starts)
+        outcomes = num_private + 2
+        outcome_hist = np.bincount(
+            interval_id * outcomes + served_level, minlength=num_intervals * outcomes
+        ).reshape(num_intervals, outcomes)
+        # SDC counters of each interval's slice of the LLC stream (the
+        # per-set stacks persist across interval boundaries).
+        slots = distance_slots(llc_distances, associativity)
+        sdc_hist = np.bincount(
+            interval_id[llc_index] * (associativity + 1) + slots,
+            minlength=num_intervals * (associativity + 1),
+        ).reshape(num_intervals, associativity + 1).astype(np.float64)
 
         overall = CPIStack()
         intervals: List[IntervalMeasurement] = []
-
-        llc_lines: List[int] = []
-        llc_insns: List[int] = []
-        llc_gaps: List[float] = []
-        pending_upstream = 0.0
-
-        access_insn = trace.access_insn
-        access_line = trace.access_line
-        base_gap = trace.base_cycle_gap
-
-        slices = trace.interval_slices(self.interval_instructions)
         previous_boundary_insn = 0
-
-        for interval_index, (start, stop) in enumerate(slices):
+        for interval_index in range(num_intervals):
             interval_stack = CPIStack()
-            interval_llc_accesses = 0
-            interval_llc_hits = 0
-            interval_llc_misses = 0
+            base_cycles = float(cum_base[stops[interval_index]] - cum_base[starts[interval_index]])
+            if interval_index == num_intervals - 1:
+                # Cycles after the last memory access belong to the last interval.
+                base_cycles += trace.tail_base_cycles
+            interval_stack.add_base(base_cycles)
+            for level in range(num_private):
+                if penalties[level]:
+                    count = int(outcome_hist[interval_index, level])
+                    interval_stack.add_private_cache(count * penalties[level])
+            llc_hits = int(outcome_hist[interval_index, num_private])
+            llc_misses = int(outcome_hist[interval_index, num_private + 1])
+            interval_stack.add_llc(llc_hits * core_model.llc_hit_penalty)
+            interval_stack.add_memory(llc_misses * core_model.memory_penalty)
 
-            for i in range(start, stop):
-                base_cycles = float(base_gap[i])
-                interval_stack.add_base(base_cycles)
-                pending_upstream += base_cycles
-                line = int(access_line[i])
-
-                outcome = hierarchy.access(line)
-                if not outcome.reached_llc:
-                    penalty = core_model.private_hit_penalty(outcome.level_index)
-                    if penalty:
-                        interval_stack.add_private_cache(penalty)
-                        pending_upstream += penalty
-                    continue
-
-                # The access reached the last-level cache: it belongs to
-                # the filtered LLC trace and to the SDC profile.
-                llc_lines.append(line)
-                llc_insns.append(int(access_insn[i]))
-                llc_gaps.append(pending_upstream)
-                pending_upstream = 0.0
-                sdc_profiler.access(line)
-                interval_llc_accesses += 1
-
-                if outcome.llc_hit:
-                    interval_llc_hits += 1
-                    interval_stack.add_llc(core_model.llc_hit_penalty)
-                else:
-                    interval_llc_misses += 1
-                    interval_stack.add_memory(core_model.memory_penalty)
-
-            # Attribute the interval's instruction count and close it out.
             boundary_insn = min(
                 (interval_index + 1) * self.interval_instructions, trace.num_instructions
             )
             interval_instructions = boundary_insn - previous_boundary_insn
             previous_boundary_insn = boundary_insn
-            if interval_index == len(slices) - 1:
-                # Cycles after the last memory access belong to the last interval.
-                interval_stack.add_base(trace.tail_base_cycles)
-                pending_upstream += trace.tail_base_cycles
             interval_stack.add_instructions(interval_instructions)
 
             intervals.append(
@@ -183,10 +343,12 @@ class SingleCoreSimulator:
                     instructions=interval_instructions,
                     cycles=interval_stack.total_cycles,
                     memory_cycles=interval_stack.memory,
-                    llc_accesses=interval_llc_accesses,
-                    llc_hits=interval_llc_hits,
-                    llc_misses=interval_llc_misses,
-                    sdc=sdc_profiler.snapshot_and_reset_counters(),
+                    llc_accesses=llc_hits + llc_misses,
+                    llc_hits=llc_hits,
+                    llc_misses=llc_misses,
+                    sdc=StackDistanceCounters(
+                        associativity=associativity, counts=sdc_hist[interval_index]
+                    ),
                 )
             )
             overall = overall.merged_with(interval_stack)
@@ -194,10 +356,10 @@ class SingleCoreSimulator:
         llc_trace = LLCAccessTrace(
             spec=trace.spec,
             num_instructions=trace.num_instructions,
-            line=np.asarray(llc_lines, dtype=np.int64),
-            insn=np.asarray(llc_insns, dtype=np.int64),
-            upstream_cycle_gap=np.asarray(llc_gaps, dtype=np.float64),
-            tail_cycles=float(pending_upstream),
+            line=np.asarray(trace.access_line[llc_index], dtype=np.int64),
+            insn=np.asarray(trace.access_insn[llc_index], dtype=np.int64),
+            upstream_cycle_gap=np.asarray(gaps, dtype=np.float64),
+            tail_cycles=float(tail_cycles),
             isolated_cycles=overall.total_cycles,
         )
 
@@ -209,25 +371,3 @@ class SingleCoreSimulator:
             cpi_stack=overall,
             llc_trace=llc_trace,
         )
-
-    def run_with_perfect_llc(self, trace: MemoryTrace) -> float:
-        """CPI of a run where every LLC access hits (the paper's perfect-LLC run).
-
-        The paper describes two ways of obtaining the memory CPI; the
-        two-run method subtracts the perfect-LLC CPI from the real CPI.
-        Our accounting method gives the same number directly, but this
-        run is kept for cross-validation in the test suite.
-        """
-        machine = self.machine
-        core_model = CoreTimingModel(machine, trace.spec)
-        hierarchy = CacheHierarchy(machine, include_llc=True)
-        cycles = float(trace.base_cycle_gap.sum()) + trace.tail_base_cycles
-        for i in range(trace.num_accesses):
-            line = int(trace.access_line[i])
-            outcome = hierarchy.access(line)
-            if not outcome.reached_llc:
-                cycles += core_model.private_hit_penalty(outcome.level_index)
-            else:
-                # Perfect LLC: every access that reaches it is a hit.
-                cycles += core_model.llc_hit_penalty
-        return cycles / trace.num_instructions

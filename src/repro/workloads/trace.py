@@ -11,6 +11,7 @@ consecutive accesses.  Traces are produced deterministically by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -81,9 +82,16 @@ class MemoryTrace:
         """Total non-memory core cycles over the whole trace."""
         return float(self.base_cycle_gap.sum()) + self.tail_base_cycles
 
-    @property
+    @cached_property
     def footprint_lines(self) -> int:
-        """Number of distinct cache lines touched by the trace."""
+        """Number of distinct cache lines touched by the trace.
+
+        Computed once per trace: ``cached_property`` writes straight to
+        the instance ``__dict__``, which works on this frozen dataclass
+        (it bypasses the blocked ``__setattr__``), so repeated reads —
+        classifiers and reports probe this per benchmark — skip the
+        ``np.unique`` pass over the whole access stream.
+        """
         return int(np.unique(self.access_line).size)
 
     def interval_slices(self, interval_instructions: int) -> list:

@@ -27,11 +27,21 @@ class TestExperimentConfig:
             dict(num_instructions=0),
             dict(interval_instructions=0),
             dict(num_instructions=1_000, interval_instructions=300),
+            dict(kernel="magic"),
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ExperimentConfig(**kwargs)
+
+    def test_kernel_defaults_to_vectorized_and_reaches_the_store(self):
+        assert ExperimentConfig().kernel == "vectorized"
+        setup = ExperimentSetup(
+            config=ExperimentConfig(
+                num_instructions=10_000, interval_instructions=1_000, kernel="reference"
+            )
+        )
+        assert setup.store.kernel == "reference"
 
 
 class TestExperimentSetup:

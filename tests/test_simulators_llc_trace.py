@@ -45,16 +45,21 @@ class TestLLCAccessTrace:
             )
 
     @pytest.mark.parametrize(
-        "overrides",
+        "overrides, message",
         [
-            dict(num_instructions=0),
-            dict(tail_cycles=-1.0),
-            dict(isolated_cycles=0.0),
+            (dict(num_instructions=0), "num_instructions"),
+            (dict(tail_cycles=-1.0), "tail_cycles must be non-negative"),
+            (dict(isolated_cycles=0.0), "isolated_cycles must be positive"),
+            (dict(isolated_cycles=-3.0), "isolated_cycles must be positive"),
         ],
     )
-    def test_invalid_scalars_rejected(self, overrides):
-        with pytest.raises(LLCTraceError):
+    def test_invalid_scalars_rejected_with_precise_message(self, overrides, message):
+        with pytest.raises(LLCTraceError, match=message):
             _trace(**overrides)
+
+    def test_zero_tail_cycles_is_legal(self):
+        trace = _trace(tail_cycles=0.0)
+        assert trace.tail_cycles == 0.0
 
     def test_real_traces_from_the_store_are_consistent(self, store, tiny_suite, machine4):
         for name in ("gamess", "hmmer"):

@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.config.cache_config import CacheConfig
+from repro.config.machine import MachineConfig
 from repro.simulators.single_core import SingleCoreSimulator
-from repro.workloads.generator import generate_trace
+from repro.workloads.benchmark import BenchmarkSpec, ReuseProfile
+from repro.workloads.generator import TraceGenerator, generate_trace
 
 from testdefaults import TEST_INSTRUCTIONS, TEST_INTERVAL
 
@@ -87,6 +90,12 @@ class TestBenchmarkHeterogeneity:
         assert two_run_memory_cpi <= run.memory_cpi + 1e-9
         assert two_run_memory_cpi == pytest.approx(run.memory_cpi, rel=0.25)
 
+    def test_kernel_equivalence_baseline(self, machine4, gamess_trace, gamess_run):
+        reference = SingleCoreSimulator(
+            machine4, interval_instructions=TEST_INTERVAL, kernel="reference"
+        ).run(gamess_trace)
+        assert_runs_bit_identical(gamess_run, reference)
+
     def test_bigger_llc_reduces_misses(self, full_suite, generator):
         from repro.config import baseline_machine, scaled
 
@@ -99,3 +108,146 @@ class TestBenchmarkHeterogeneity:
         small_misses = sum(i.llc_misses for i in small_run.intervals)
         large_misses = sum(i.llc_misses for i in large_run.intervals)
         assert large_misses <= small_misses
+
+
+# ---------------------------------------------------------------------------
+# Vectorized vs reference kernel equivalence
+# ---------------------------------------------------------------------------
+
+
+def assert_runs_bit_identical(a, b):
+    """Assert two SingleCoreRunResults are bit-identical, field by field."""
+    assert a.benchmark == b.benchmark
+    assert a.machine_name == b.machine_name
+    assert a.interval_instructions == b.interval_instructions
+    assert len(a.intervals) == len(b.intervals)
+    for x, y in zip(a.intervals, b.intervals):
+        assert x.index == y.index
+        assert x.instructions == y.instructions
+        assert x.cycles == y.cycles
+        assert x.memory_cycles == y.memory_cycles
+        assert (x.llc_accesses, x.llc_hits, x.llc_misses) == (
+            y.llc_accesses,
+            y.llc_hits,
+            y.llc_misses,
+        )
+        assert x.sdc.associativity == y.sdc.associativity
+        assert np.array_equal(x.sdc.counts, y.sdc.counts)
+    for component in ("base", "private_cache", "llc", "memory", "instructions"):
+        assert getattr(a.cpi_stack, component) == getattr(b.cpi_stack, component)
+    ta, tb = a.llc_trace, b.llc_trace
+    for attr in ("line", "insn", "upstream_cycle_gap"):
+        left, right = getattr(ta, attr), getattr(tb, attr)
+        assert left.dtype == right.dtype
+        assert np.array_equal(left, right)
+    assert ta.tail_cycles == tb.tail_cycles
+    assert ta.isolated_cycles == tb.isolated_cycles
+
+
+def _random_spec(rng, index):
+    """A random but plausible benchmark spec for the equivalence matrix."""
+    buckets = []
+    low = 0
+    for _ in range(int(rng.integers(1, 4))):
+        high = low + int(rng.integers(4, 120))
+        buckets.append((high, float(rng.uniform(0.05, 0.5))))
+        low = high
+    return BenchmarkSpec(
+        name=f"rand-{index}",
+        base_cpi=float(rng.uniform(0.3, 1.2)),
+        mem_ref_fraction=float(rng.uniform(0.1, 0.6)),
+        reuse=ReuseProfile(
+            buckets=tuple(buckets), new_weight=float(rng.uniform(0.001, 0.05))
+        ),
+        working_set_lines=int(rng.integers(64, 4096)),
+        mlp=float(rng.uniform(1.0, 4.0)),
+        seed=int(rng.integers(0, 10_000)),
+    )
+
+
+def _equivalence_machines():
+    line = 64
+    return [
+        # Scaled default-shaped hierarchy.
+        MachineConfig(
+            private_levels=(
+                CacheConfig(name="L1D", size_bytes=32 * line, associativity=8, latency=1),
+                CacheConfig(name="L2", size_bytes=128 * line, associativity=8, latency=10),
+            ),
+            llc=CacheConfig(
+                name="L3", size_bytes=512 * line, associativity=8, latency=16, shared=True
+            ),
+            name="scaled-baseline",
+        ),
+        # Single-set (fully associative) levels, including the LLC.
+        MachineConfig(
+            private_levels=(
+                CacheConfig(name="L1D", size_bytes=8 * line, associativity=8, latency=1),
+            ),
+            llc=CacheConfig(
+                name="L3", size_bytes=64 * line, associativity=64, latency=16, shared=True
+            ),
+            name="single-set",
+        ),
+        # Direct-mapped everything.
+        MachineConfig(
+            private_levels=(
+                CacheConfig(name="L1D", size_bytes=16 * line, associativity=1, latency=1),
+                CacheConfig(name="L2", size_bytes=64 * line, associativity=1, latency=10),
+            ),
+            llc=CacheConfig(
+                name="L3", size_bytes=256 * line, associativity=1, latency=16, shared=True
+            ),
+            name="direct-mapped",
+        ),
+    ]
+
+
+class TestKernelEquivalence:
+    """Property suite: the two replay kernels are bit-identical."""
+
+    def test_randomized_equivalence_matrix(self):
+        rng = np.random.default_rng(2024)
+        machines = _equivalence_machines()
+        for index in range(6):
+            spec = _random_spec(rng, index)
+            num_instructions = int(rng.choice([2_500, 10_000, 20_000]))
+            trace = TraceGenerator(num_instructions=num_instructions, seed=index).generate(spec)
+            machine = machines[index % len(machines)]
+            simulator = SingleCoreSimulator(machine, interval_instructions=4_000)
+            vectorized = simulator.run(trace, kernel="vectorized")
+            reference = simulator.run(trace, kernel="reference")
+            assert_runs_bit_identical(vectorized, reference)
+            assert simulator.run_with_perfect_llc(
+                trace, kernel="vectorized"
+            ) == simulator.run_with_perfect_llc(trace, kernel="reference")
+
+    def test_trace_shorter_than_one_interval(self, full_suite):
+        trace = TraceGenerator(num_instructions=1_500, seed=3).generate(
+            full_suite["gamess"]
+        )
+        simulator = SingleCoreSimulator(
+            _equivalence_machines()[0], interval_instructions=4_000
+        )
+        vectorized = simulator.run(trace, kernel="vectorized")
+        reference = simulator.run(trace, kernel="reference")
+        assert len(vectorized.intervals) == 1
+        assert vectorized.intervals[0].instructions == 1_500
+        assert_runs_bit_identical(vectorized, reference)
+
+    def test_default_kernel_is_vectorized(self, machine4):
+        assert SingleCoreSimulator(machine4).kernel == "vectorized"
+
+    def test_unknown_kernel_rejected(self, machine4, gamess_trace):
+        with pytest.raises(ValueError):
+            SingleCoreSimulator(machine4, kernel="magic")
+        with pytest.raises(ValueError):
+            SingleCoreSimulator(machine4).run(gamess_trace, kernel="magic")
+
+    def test_per_run_kernel_override(self, machine4, gamess_trace):
+        simulator = SingleCoreSimulator(
+            machine4, interval_instructions=TEST_INTERVAL, kernel="reference"
+        )
+        assert_runs_bit_identical(
+            simulator.run(gamess_trace, kernel="vectorized"), simulator.run(gamess_trace)
+        )

@@ -55,6 +55,16 @@ class TestTraceGenerator:
         trace = generate_trace(spec, num_instructions=20_000)
         assert trace.footprint_lines <= 100
 
+    def test_footprint_is_memoized_on_the_frozen_trace(self):
+        spec = _small_spec()
+        trace = generate_trace(spec, num_instructions=10_000)
+        assert "footprint_lines" not in trace.__dict__
+        first = trace.footprint_lines
+        # cached_property writes through to __dict__ despite the frozen
+        # dataclass, so the unique() pass runs only once.
+        assert trace.__dict__["footprint_lines"] == first
+        assert trace.footprint_lines == first
+
     def test_streaming_spec_touches_many_lines(self):
         streaming = _small_spec(
             name="streamy",
