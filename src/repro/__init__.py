@@ -18,6 +18,9 @@ The package layers, bottom-up:
 * :mod:`repro.profiling` — single-core profiles and their store,
 * :mod:`repro.contention` — FOA and the other Chandra et al. models,
 * :mod:`repro.core` — MPPM itself,
+* :mod:`repro.predictors` — the unified Predictor API: one spec-string
+  registry (``make_predictor``) covering MPPM variants, the baselines
+  and detailed simulation,
 * :mod:`repro.metrics` — STP/ANTT, errors, confidence intervals,
   Spearman rank correlation,
 * :mod:`repro.engine` — the parallel experiment engine (job graphs,
@@ -36,19 +39,34 @@ from typing import Optional, Sequence
 from repro.core import MPPM, MPPMConfig
 from repro.core.result import MixPrediction
 from repro.config import baseline_machine, llc_design_space, machine_with_llc, scaled
+from repro.contention import available_contention_models, make_contention_model
+from repro.predictors import (
+    DEFAULT_PREDICTOR,
+    Predictor,
+    available_predictors,
+    make_predictor,
+)
+from repro.simulators import KERNELS
 from repro.workloads import WorkloadMix, spec_cpu2006_like_suite
 from repro.experiments import ExperimentConfig, ExperimentSetup, default_setup
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MPPM",
     "MPPMConfig",
     "MixPrediction",
+    "Predictor",
+    "DEFAULT_PREDICTOR",
+    "KERNELS",
     "WorkloadMix",
+    "available_contention_models",
+    "available_predictors",
     "baseline_machine",
     "machine_with_llc",
     "llc_design_space",
+    "make_contention_model",
+    "make_predictor",
     "scaled",
     "spec_cpu2006_like_suite",
     "ExperimentConfig",
@@ -63,6 +81,7 @@ def quickstart_predict(
     programs: Sequence[str],
     llc_config: int = 1,
     setup: Optional[ExperimentSetup] = None,
+    predictor: Optional[str] = None,
 ) -> MixPrediction:
     """Predict multi-core performance for one workload mix in one call.
 
@@ -70,9 +89,11 @@ def quickstart_predict(
     suite (one per core, repetitions allowed).  The function profiles
     the required benchmarks on the (scaled) baseline machine with the
     requested Table 2 LLC configuration — a one-time cost cached in the
-    setup — and runs MPPM on the mix.
+    setup — and runs the requested predictor (``predictor`` is a spec
+    from :func:`available_predictors`; default MPPM with FOA) on the
+    mix.
     """
     setup = setup if setup is not None else ExperimentSetup()
     mix = WorkloadMix(programs=tuple(programs))
     machine = setup.machine(num_cores=mix.num_programs, llc_config=llc_config)
-    return setup.predict(mix, machine)
+    return setup.predict(mix, machine, predictor=predictor)

@@ -5,23 +5,28 @@ The CLI wraps the most common workflows behind one executable
 
 ``suite``
     List the synthetic benchmark suite and the MEM/COMP/MIX classes.
+``models``
+    List the registered predictor specs (the values ``--model`` takes).
 ``profile``
     Print the single-core profile summary of one or more benchmarks.
 ``predict``
-    Run MPPM on one workload mix (benchmark names, one per core).
+    Run one predictor on one workload mix (benchmark names, one per
+    core); ``--model`` selects the estimator (default ``mppm:foa``).
 ``compare``
-    Run both MPPM and the detailed reference simulation on one mix and
-    report the prediction errors.
+    Run one or more predictors (repeatable ``--model``) and the
+    detailed reference simulation on one mix and report the prediction
+    errors.
 ``rank``
-    Rank the six Table 2 LLC configurations with MPPM over a sample of
-    workload mixes.
+    Rank the six Table 2 LLC configurations over a sample of workload
+    mixes, once per requested ``--model``.
 ``stress``
-    Scan a sample of mixes with MPPM and report the worst-STP ones.
+    Scan a sample of mixes with one predictor and report the
+    worst-STP ones.
 ``run``
     The unified experiment pipeline: run whole paper experiments
     (accuracy, ranking, agreement, stress, variability, space) through
-    the parallel engine, with ``--jobs N`` workers and a persistent
-    ``--cache-dir``.
+    the parallel engine, with ``--jobs N`` workers, a persistent
+    ``--cache-dir`` and any set of estimators (repeatable ``--model``).
 
 All commands accept ``--benchmarks``, ``--instructions``, ``--scale``
 and ``--seed`` to control the experiment setup, plus ``--jobs`` and
@@ -41,6 +46,7 @@ import numpy as np
 from repro.engine import ConsoleReporter, create_engine
 from repro.experiments import ExperimentConfig, ExperimentSetup
 from repro.experiments.reporting import format_table
+from repro.predictors import DEFAULT_PREDICTOR, canonical_spec, describe_predictors
 from repro.workloads import WorkloadMix, sample_mixes, small_suite, spec_cpu2006_like_suite
 from repro.workloads.classification import classify_suite
 
@@ -67,6 +73,40 @@ def _positive_int(value: str) -> int:
     if number <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
     return number
+
+
+def _predictor_spec(value: str) -> str:
+    """argparse type for ``--model``: canonicalised registry spec."""
+    try:
+        return canonical_spec(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_model_argument(parser: argparse.ArgumentParser, repeatable: bool) -> None:
+    if repeatable:
+        parser.add_argument(
+            "--model",
+            dest="models",
+            type=_predictor_spec,
+            action="append",
+            default=None,
+            help=(
+                "predictor spec to evaluate (see `repro models`); repeatable "
+                f"(default: {DEFAULT_PREDICTOR})"
+            ),
+        )
+    else:
+        parser.add_argument(
+            "--model",
+            type=_predictor_spec,
+            default=DEFAULT_PREDICTOR,
+            help=f"predictor spec to use (see `repro models`; default: {DEFAULT_PREDICTOR})",
+        )
+
+
+def _selected_models(args: argparse.Namespace) -> List[str]:
+    return args.models if args.models else [DEFAULT_PREDICTOR]
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -124,6 +164,22 @@ def _with_setup(handler):
     return wrapped
 
 
+def _command_models(args: argparse.Namespace) -> int:
+    """List the predictor registry (no experiment setup required)."""
+    rows = [
+        {"spec": spec, "description": description}
+        for spec, description in describe_predictors()
+    ]
+    print(
+        format_table(
+            rows,
+            title="Registered predictors (pass a spec via --model):",
+        )
+    )
+    print(f"\ndefault: {DEFAULT_PREDICTOR}")
+    return 0
+
+
 def _command_suite(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     classes = classify_suite(setup.suite)
     rows = [
@@ -178,7 +234,7 @@ def _command_predict(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     if mix is None:
         return 2
     machine = setup.machine(num_cores=mix.num_programs, llc_config=args.llc_config)
-    prediction = setup.predict(mix, machine)
+    prediction = setup.predict(mix, machine, predictor=args.model)
     print(prediction.describe())
     return 0
 
@@ -187,79 +243,99 @@ def _command_compare(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     mix = _mix_from_args(args, setup)
     if mix is None:
         return 2
+    models = _selected_models(args)
     machine = setup.machine(num_cores=mix.num_programs, llc_config=args.llc_config)
-    prediction = setup.predict(mix, machine)
+    predictions = {spec: setup.predict(mix, machine, predictor=spec) for spec in models}
     measurement = setup.simulate(mix, machine)
     rows = []
-    for predicted, measured in zip(prediction.programs, measurement.programs):
-        rows.append(
-            {
-                "core": predicted.core,
-                "program": predicted.name,
-                "CPI_SC": predicted.single_core_cpi,
-                "CPI_MC_measured": measured.cpi,
-                "CPI_MC_predicted": predicted.predicted_cpi,
-                "slowdown_measured": measured.slowdown,
-                "slowdown_predicted": predicted.slowdown,
-            }
+    for spec, prediction in predictions.items():
+        for predicted, measured in zip(prediction.programs, measurement.programs):
+            rows.append(
+                {
+                    "model": spec,
+                    "core": predicted.core,
+                    "program": predicted.name,
+                    "CPI_SC": predicted.single_core_cpi,
+                    "CPI_MC_measured": measured.cpi,
+                    "CPI_MC_predicted": predicted.predicted_cpi,
+                    "slowdown_measured": measured.slowdown,
+                    "slowdown_predicted": predicted.slowdown,
+                }
+            )
+    print(
+        format_table(
+            rows, title=f"{', '.join(models)} vs detailed simulation for {mix.label()}:"
         )
-    print(format_table(rows, title=f"MPPM vs detailed simulation for {mix.label()}:"))
-    stp_error = abs(prediction.system_throughput - measurement.system_throughput)
-    stp_error /= measurement.system_throughput
-    antt_error = abs(
-        prediction.average_normalized_turnaround_time
-        - measurement.average_normalized_turnaround_time
-    ) / measurement.average_normalized_turnaround_time
-    print(
-        f"\nSTP : measured {measurement.system_throughput:.3f}, "
-        f"predicted {prediction.system_throughput:.3f} ({stp_error:.1%} error)"
     )
-    print(
-        f"ANTT: measured {measurement.average_normalized_turnaround_time:.3f}, "
-        f"predicted {prediction.average_normalized_turnaround_time:.3f} ({antt_error:.1%} error)"
-    )
+    for spec, prediction in predictions.items():
+        stp_error = abs(prediction.system_throughput - measurement.system_throughput)
+        stp_error /= measurement.system_throughput
+        antt_error = abs(
+            prediction.average_normalized_turnaround_time
+            - measurement.average_normalized_turnaround_time
+        ) / measurement.average_normalized_turnaround_time
+        print(
+            f"\n[{spec}] STP : measured {measurement.system_throughput:.3f}, "
+            f"predicted {prediction.system_throughput:.3f} ({stp_error:.1%} error)"
+        )
+        print(
+            f"[{spec}] ANTT: measured {measurement.average_normalized_turnaround_time:.3f}, "
+            f"predicted {prediction.average_normalized_turnaround_time:.3f} "
+            f"({antt_error:.1%} error)"
+        )
     return 0
 
 
 def _command_rank(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
     machines = setup.design_space(num_cores=args.cores)
-    predictions = setup.predict_batch(
-        [(mix, machine) for machine in machines for mix in mixes]
+    models = _selected_models(args)
+    # One engine sweep covering every requested model over the whole
+    # design space, so heterogeneous rankings parallelise together.
+    predictions = setup.predictor_batch(
+        [
+            (spec, mix, machine)
+            for spec in models
+            for machine in machines
+            for mix in mixes
+        ]
     )
-    rows = []
-    for i, machine in enumerate(machines):
-        machine_predictions = predictions[i * len(mixes) : (i + 1) * len(mixes)]
-        rows.append(
-            {
-                "LLC": machine.name,
-                "avg_STP": float(
-                    np.mean([p.system_throughput for p in machine_predictions])
+    offset = 0
+    for spec in models:
+        rows = []
+        for machine in machines:
+            machine_predictions = predictions[offset : offset + len(mixes)]
+            offset += len(mixes)
+            rows.append(
+                {
+                    "LLC": machine.name,
+                    "avg_STP": float(
+                        np.mean([p.system_throughput for p in machine_predictions])
+                    ),
+                    "avg_ANTT": float(
+                        np.mean(
+                            [p.average_normalized_turnaround_time for p in machine_predictions]
+                        )
+                    ),
+                }
+            )
+        rows.sort(key=lambda row: row["avg_STP"], reverse=True)
+        print(
+            format_table(
+                rows,
+                title=(
+                    f"LLC design space ranked by {spec} over {len(mixes)} "
+                    f"{args.cores}-program mixes (best first):"
                 ),
-                "avg_ANTT": float(
-                    np.mean(
-                        [p.average_normalized_turnaround_time for p in machine_predictions]
-                    )
-                ),
-            }
+            )
         )
-    rows.sort(key=lambda row: row["avg_STP"], reverse=True)
-    print(
-        format_table(
-            rows,
-            title=(
-                f"LLC design space ranked by MPPM over {len(mixes)} "
-                f"{args.cores}-program mixes (best first):"
-            ),
-        )
-    )
     return 0
 
 
 def _command_stress(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     machine = setup.machine(num_cores=args.cores, llc_config=args.llc_config)
     mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
-    scored = list(zip(setup.predict_many(mixes, machine), mixes))
+    scored = list(zip(setup.predict_many(mixes, machine, predictor=args.model), mixes))
     scored.sort(key=lambda pair: pair[0].system_throughput)
     rows = []
     for prediction, mix in scored[: args.worst]:
@@ -276,7 +352,7 @@ def _command_stress(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     print(
         format_table(
             rows,
-            title=f"{args.worst} worst mixes (by MPPM STP) out of {len(mixes)} scanned:",
+            title=f"{args.worst} worst mixes (by {args.model} STP) out of {len(mixes)} scanned:",
         )
     )
     return 0
@@ -307,19 +383,27 @@ def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
         return 2
     mixes = args.mixes
     trials = max(2, mixes // 4)
+    models = _selected_models(args)
 
     def run_experiment(name: str):
         if name == "space":
             return workload_space_report(setup, measure_costs=True)
         if name == "variability":
+            # Variability evaluates with a single estimator: the first
+            # requested model, or the paper's detailed simulation.
             return variability_experiment(
-                setup, num_cores=core_counts[-1], max_mixes=mixes, seed=args.seed + 11
+                setup,
+                num_cores=core_counts[-1],
+                max_mixes=mixes,
+                source=models[0] if args.models else "simulation",
+                seed=args.seed + 11,
             )
         if name == "accuracy":
             return accuracy_experiment(
                 setup,
                 core_counts=core_counts,
                 mixes_per_core_count=mixes,
+                predictors=models,
                 seed=args.seed + 23,
             )
         if name == "ranking":
@@ -330,6 +414,7 @@ def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
                 mixes_per_trial=max(3, mixes // 4),
                 reference_mixes=mixes,
                 mppm_mixes=4 * mixes,
+                predictors=models,
                 seed=args.seed + 41,
             )
         if name == "agreement":
@@ -340,6 +425,7 @@ def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
                 mixes_per_trial=max(3, mixes // 4),
                 reference_mixes=mixes,
                 mppm_mixes=4 * mixes,
+                predictors=models,
                 seed=args.seed + 53,
             )
         return stress_experiment(
@@ -347,6 +433,7 @@ def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
             num_cores=core_counts[-1],
             num_mixes=2 * mixes,
             worst_k=max(3, mixes // 4),
+            predictors=models,
             seed=args.seed + 61,
         )
 
@@ -380,33 +467,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(suite_parser)
     suite_parser.set_defaults(handler=_with_setup(_command_suite))
 
+    models_parser = subparsers.add_parser(
+        "models", help="list the registered predictor specs"
+    )
+    models_parser.set_defaults(handler=_command_models)
+
     profile_parser = subparsers.add_parser("profile", help="print single-core profiles")
     _add_common_arguments(profile_parser)
     profile_parser.add_argument("names", nargs="*", help="benchmarks to profile (default: all)")
     profile_parser.set_defaults(handler=_with_setup(_command_profile))
 
-    predict_parser = subparsers.add_parser("predict", help="run MPPM on one workload mix")
+    predict_parser = subparsers.add_parser(
+        "predict", help="run one predictor on one workload mix"
+    )
     _add_common_arguments(predict_parser)
+    _add_model_argument(predict_parser, repeatable=False)
     predict_parser.add_argument("programs", nargs="+", help="benchmark names, one per core")
     predict_parser.set_defaults(handler=_with_setup(_command_predict))
 
     compare_parser = subparsers.add_parser(
-        "compare", help="run MPPM and the detailed reference on one mix"
+        "compare", help="run predictors and the detailed reference on one mix"
     )
     _add_common_arguments(compare_parser)
+    _add_model_argument(compare_parser, repeatable=True)
     compare_parser.add_argument("programs", nargs="+", help="benchmark names, one per core")
     compare_parser.set_defaults(handler=_with_setup(_command_compare))
 
     rank_parser = subparsers.add_parser("rank", help="rank the Table 2 LLC configurations")
     _add_common_arguments(rank_parser)
+    _add_model_argument(rank_parser, repeatable=True)
     rank_parser.add_argument("--cores", type=int, default=4, help="programs per mix (default: 4)")
     rank_parser.add_argument(
-        "--mixes", type=int, default=100, help="number of mixes MPPM evaluates (default: 100)"
+        "--mixes", type=int, default=100, help="number of mixes each model evaluates (default: 100)"
     )
     rank_parser.set_defaults(handler=_with_setup(_command_rank))
 
     stress_parser = subparsers.add_parser("stress", help="find worst-case (stress) workload mixes")
     _add_common_arguments(stress_parser)
+    _add_model_argument(stress_parser, repeatable=False)
     stress_parser.add_argument("--cores", type=int, default=4, help="programs per mix (default: 4)")
     stress_parser.add_argument(
         "--mixes", type=int, default=200, help="number of mixes to scan (default: 200)"
@@ -420,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run whole paper experiments through the parallel engine"
     )
     _add_common_arguments(run_parser)
+    _add_model_argument(run_parser, repeatable=True)
     run_parser.add_argument(
         "--experiment",
         dest="experiments",

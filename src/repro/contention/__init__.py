@@ -31,6 +31,7 @@ __all__ = [
     "FOAModel",
     "StackDistanceCompetitionModel",
     "InductiveProbabilityModel",
+    "available_contention_models",
     "make_contention_model",
 ]
 
@@ -42,11 +43,17 @@ _MODELS = {
 }
 
 
+def available_contention_models() -> list:
+    """All registered contention-model names, in registration order."""
+    return list(_MODELS)
+
+
 def make_contention_model(name: str) -> ContentionModel:
     """Construct a contention model by name (``"foa"``, ``"sdc"``, ``"prob"``)."""
     try:
         return _MODELS[name.lower()]()
     except KeyError:
         raise ValueError(
-            f"unknown contention model {name!r}; choices are {sorted(_MODELS)}"
+            f"unknown contention model {name!r}; available models: "
+            + ", ".join(available_contention_models())
         ) from None

@@ -46,13 +46,20 @@ class IterationRecord:
 
 @dataclass(frozen=True)
 class MixPrediction:
-    """MPPM's prediction for one multi-program workload mix."""
+    """A predictor's estimate for one multi-program workload mix.
+
+    ``predictor`` is the registry spec of the estimator that produced
+    the prediction (``"mppm:foa"``, ``"detailed"``, …; see
+    :mod:`repro.predictors`).  It round-trips through the JSON
+    serialisation, so cached and exported results are self-describing.
+    """
 
     machine_name: str
     programs: Tuple[ProgramPrediction, ...]
     iterations: int
     converged: bool
     history: Tuple[IterationRecord, ...] = field(default=())
+    predictor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.programs:
@@ -100,6 +107,7 @@ class MixPrediction:
             "machine_name": self.machine_name,
             "iterations": self.iterations,
             "converged": self.converged,
+            "predictor": self.predictor,
             "programs": [
                 {
                     "name": program.name,
@@ -143,17 +151,19 @@ class MixPrediction:
             )
             for entry in data["history"]
         )
+        predictor = data.get("predictor")
         return cls(
             machine_name=data["machine_name"],
             programs=programs,
             iterations=int(data["iterations"]),
             converged=bool(data["converged"]),
             history=history,
+            predictor=str(predictor) if predictor is not None else None,
         )
 
     def describe(self) -> str:
         lines = [
-            f"MPPM prediction on {self.machine_name} "
+            f"{self.predictor or 'MPPM'} prediction on {self.machine_name} "
             f"({self.iterations} iterations, converged={self.converged}):"
         ]
         for program in self.programs:

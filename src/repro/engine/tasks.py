@@ -129,13 +129,20 @@ def predict_task(
     config: "ExperimentConfig",
     suite: "BenchmarkSuite",
     cache_dir: Optional[str],
+    predictor: str,
     mix: "WorkloadMix",
     machine: "MachineConfig",
     contention_model=None,
     mppm_config: Optional["MPPMConfig"] = None,
 ) -> "MixPrediction":
     setup = _resolve_setup(token, config, suite, cache_dir)
-    return setup.predict(mix, machine, contention_model=contention_model, mppm_config=mppm_config)
+    if contention_model is not None:
+        # Ablation override: the instance replaces the spec's model
+        # (setup.predict rejects spec + instance together).
+        return setup.predict(
+            mix, machine, contention_model=contention_model, mppm_config=mppm_config
+        )
+    return setup.predict(mix, machine, predictor=predictor, mppm_config=mppm_config)
 
 
 # ---------------------------------------------------------------------------
@@ -226,21 +233,33 @@ def predict_job(
     machine: "MachineConfig",
     key: str,
     deps: Tuple[str, ...] = (),
+    predictor: Optional[str] = None,
     contention_model=None,
     mppm_config: Optional["MPPMConfig"] = None,
 ) -> Job:
-    """MPPM-predict one mix on one machine.
+    """Predict one mix on one machine with one registry predictor.
 
-    Predictions are result-cached when they are a pure function of the
-    recipe: the default contention model, and either the default MPPM
-    configuration or an explicit (frozen, reproducibly ``repr``-able)
-    :class:`MPPMConfig`.  A custom contention model instance has no
-    content-stable representation, so those predictions always run.
+    ``predictor`` is a spec from :mod:`repro.predictors` (default
+    ``mppm:foa``); the cache key covers ``(spec, mix, machine)`` plus
+    the setup recipe, so heterogeneous predictor sweeps cache and
+    parallelise through the same :class:`ResultCache`/process pool as
+    homogeneous ones.  Predictions are result-cached when they are a
+    pure function of the recipe: a registry spec, and either the
+    default MPPM configuration or an explicit (frozen, reproducibly
+    ``repr``-able) :class:`MPPMConfig`.  A custom contention model
+    instance has no content-stable representation, so those
+    predictions always run.  A ``detailed``-spec job is labelled
+    ``kind="simulate"`` because it replays LLC traces — the parallel
+    warm-up phase uses the kind to decide what to pre-compute.
     """
+    from repro.predictors import DEFAULT_PREDICTOR, canonical_spec, predictor_requires_traces
+
+    spec = canonical_spec(predictor if predictor is not None else DEFAULT_PREDICTOR)
     cache_key = None
     if contention_model is None:
         cache_key = content_key(
             "predict",
+            spec,
             machine.profile_key(),
             machine.num_cores,
             mix.programs,
@@ -250,8 +269,8 @@ def predict_job(
     return Job(
         key=key,
         fn=predict_task,
-        args=_recipe(setup) + (mix, machine, contention_model, mppm_config),
+        args=_recipe(setup) + (spec, mix, machine, contention_model, mppm_config),
         deps=deps,
-        kind="predict",
+        kind="simulate" if predictor_requires_traces(spec) else "predict",
         cache_key=cache_key,
     )

@@ -20,7 +20,6 @@ from typing import List, Mapping, Sequence
 
 import numpy as np
 
-from repro.contention import make_contention_model
 from repro.core import MPPMConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.results import MixEvaluation
@@ -74,13 +73,19 @@ def _evaluate_variant(
     setup: ExperimentSetup,
     mixes: Sequence[WorkloadMix],
     machine,
+    variant: str,
+    predictor=None,
     contention_model=None,
     mppm_config=None,
 ) -> AblationRow:
     stp_errors, antt_errors, slowdown_errors = [], [], []
     for mix in mixes:
         predicted = setup.predict(
-            mix, machine, contention_model=contention_model, mppm_config=mppm_config
+            mix,
+            machine,
+            predictor=predictor,
+            contention_model=contention_model,
+            mppm_config=mppm_config,
         )
         measured = setup.simulate(mix, machine)
         stp_errors.append(
@@ -95,7 +100,7 @@ def _evaluate_variant(
         for p, m in zip(predicted.programs, measured.programs):
             slowdown_errors.append(absolute_relative_error(p.slowdown, m.slowdown))
     return AblationRow(
-        variant="",
+        variant=variant,
         stp_error=float(np.mean(stp_errors)),
         antt_error=float(np.mean(antt_errors)),
         slowdown_error=float(np.mean(slowdown_errors)),
@@ -113,19 +118,12 @@ def contention_model_ablation(
     """Compare MPPM accuracy across cache-contention models."""
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
-    rows = []
-    for model_name in models:
-        row = _evaluate_variant(
-            setup, mixes, machine, contention_model=make_contention_model(model_name)
-        )
-        rows.append(
-            AblationRow(
-                variant=model_name,
-                stp_error=row.stp_error,
-                antt_error=row.antt_error,
-                slowdown_error=row.slowdown_error,
-            )
-        )
+    # Registry specs (mppm:foa, mppm:sdc, …) instead of model
+    # instances: the predictions are bit-identical but memoised.
+    rows = [
+        _evaluate_variant(setup, mixes, machine, model_name, predictor=f"mppm:{model_name}")
+        for model_name in models
+    ]
     return AblationResult(
         title=(
             "Ablation — cache-contention model inside MPPM "
@@ -146,19 +144,12 @@ def smoothing_ablation(
     """Sweep the EMA smoothing factor of the slowdown update."""
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
-    rows = []
-    for factor in smoothing_factors:
-        row = _evaluate_variant(
-            setup, mixes, machine, mppm_config=MPPMConfig(smoothing=factor)
+    rows = [
+        _evaluate_variant(
+            setup, mixes, machine, f"f={factor:.2f}", mppm_config=MPPMConfig(smoothing=factor)
         )
-        rows.append(
-            AblationRow(
-                variant=f"f={factor:.2f}",
-                stp_error=row.stp_error,
-                antt_error=row.antt_error,
-                slowdown_error=row.slowdown_error,
-            )
-        )
+        for factor in smoothing_factors
+    ]
     return AblationResult(
         title=(
             "Ablation — exponential-moving-average smoothing factor of the slowdown update "
@@ -177,51 +168,23 @@ def iteration_ablation(
 ) -> AblationResult:
     """Quantify the value of MPPM's iterative entanglement modelling.
 
-    Compares full MPPM against two baselines (see
-    :mod:`repro.core.baselines`): ignoring contention entirely, and
-    applying the contention model once without iterating.
+    Compares full MPPM against two baselines (all three are registry
+    predictors now, see :mod:`repro.predictors`): ignoring contention
+    entirely, and applying the contention model once without iterating.
     """
-    from repro.core.baselines import NoContentionPredictor, OneShotContentionPredictor
-
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
-    profiles = setup.profiles(machine)
 
-    predictors = {
-        "MPPM (iterative)": lambda mix: setup.predict(mix, machine),
-        "one-shot contention": lambda mix, p=OneShotContentionPredictor(machine): p.predict_mix(
-            mix, profiles
-        ),
-        "no contention": lambda mix, p=NoContentionPredictor(machine): p.predict_mix(
-            mix, profiles
-        ),
+    variants = {
+        "MPPM (iterative)": "mppm:foa",
+        "one-shot contention": "baseline:one-shot",
+        "no contention": "baseline:no-contention",
     }
 
-    rows = []
-    for variant, predictor in predictors.items():
-        stp_errors, antt_errors, slowdown_errors = [], [], []
-        for mix in mixes:
-            predicted = predictor(mix)
-            measured = setup.simulate(mix, machine)
-            stp_errors.append(
-                absolute_relative_error(predicted.system_throughput, measured.system_throughput)
-            )
-            antt_errors.append(
-                absolute_relative_error(
-                    predicted.average_normalized_turnaround_time,
-                    measured.average_normalized_turnaround_time,
-                )
-            )
-            for p, m in zip(predicted.programs, measured.programs):
-                slowdown_errors.append(absolute_relative_error(p.slowdown, m.slowdown))
-        rows.append(
-            AblationRow(
-                variant=variant,
-                stp_error=float(np.mean(stp_errors)),
-                antt_error=float(np.mean(antt_errors)),
-                slowdown_error=float(np.mean(slowdown_errors)),
-            )
-        )
+    rows = [
+        _evaluate_variant(setup, mixes, machine, variant, predictor=spec)
+        for variant, spec in variants.items()
+    ]
     return AblationResult(
         title=(
             "Ablation — value of the iterative entanglement model "
@@ -241,19 +204,12 @@ def update_rule_ablation(
     """Compare the literal Figure 2 slowdown update with the self-consistent one."""
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
-    rows = []
-    for variant, literal in (("self-consistent", False), ("literal Figure 2", True)):
-        row = _evaluate_variant(
-            setup, mixes, machine, mppm_config=MPPMConfig(literal_figure2_update=literal)
+    rows = [
+        _evaluate_variant(
+            setup, mixes, machine, variant, mppm_config=MPPMConfig(literal_figure2_update=literal)
         )
-        rows.append(
-            AblationRow(
-                variant=variant,
-                stp_error=row.stp_error,
-                antt_error=row.antt_error,
-                slowdown_error=row.slowdown_error,
-            )
-        )
+        for variant, literal in (("self-consistent", False), ("literal Figure 2", True))
+    ]
     return AblationResult(
         title=(
             "Ablation — slowdown-update normalisation "

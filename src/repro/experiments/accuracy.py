@@ -26,11 +26,12 @@ from repro.workloads import WorkloadMix, sample_mixes
 
 @dataclass(frozen=True)
 class AccuracyForCoreCount:
-    """Accuracy results for one core count / LLC configuration."""
+    """Accuracy results for one (predictor, core count, LLC configuration)."""
 
     num_cores: int
     llc_config: int
     evaluations: List[MixEvaluation]
+    predictor: str = "mppm:foa"
 
     @property
     def num_mixes(self) -> int:
@@ -76,19 +77,24 @@ class AccuracyForCoreCount:
 
 @dataclass(frozen=True)
 class AccuracyResult:
-    """Figure 4 + Figure 5 + the 16-core paragraph, in one object."""
+    """Figure 4 + Figure 5 + the 16-core paragraph, in one object.
+
+    With several predictors requested, ``per_core_count`` holds one
+    entry per (predictor, core count) combination, in predictor order.
+    """
 
     per_core_count: List[AccuracyForCoreCount]
 
-    def for_cores(self, num_cores: int) -> AccuracyForCoreCount:
+    def for_cores(self, num_cores: int, predictor: Optional[str] = None) -> AccuracyForCoreCount:
         for entry in self.per_core_count:
-            if entry.num_cores == num_cores:
+            if entry.num_cores == num_cores and predictor in (None, entry.predictor):
                 return entry
         raise KeyError(f"no accuracy results for {num_cores} cores")
 
     def to_rows(self) -> List[Mapping[str, object]]:
         return [
             {
+                "predictor": entry.predictor,
                 "cores": entry.num_cores,
                 "llc_config": f"#{entry.llc_config}",
                 "mixes": entry.num_mixes,
@@ -119,6 +125,7 @@ def accuracy_experiment(
     include_16_core: bool = False,
     mixes_16_core: int = 10,
     llc_config_16_core: int = 4,
+    predictors: Sequence[str] = ("mppm:foa",),
     seed: int = 23,
 ) -> AccuracyResult:
     """Run the Figure 4/5 experiment.
@@ -126,11 +133,17 @@ def accuracy_experiment(
     The paper uses 150 mixes for 2/4/8 cores (configuration #1) and 25
     mixes for 16 cores (configuration #4); the defaults are smaller so
     the whole benchmark suite stays fast, and are parameters so the
-    paper's sizes can be requested.
+    paper's sizes can be requested.  ``predictors`` lists the registry
+    specs evaluated against the reference — the paper's figure is the
+    default ``("mppm:foa",)``, and e.g. adding the baselines quantifies
+    what the iterative entanglement buys.
 
-    All core counts are submitted to the engine as one job graph, so a
-    parallel setup overlaps the whole sweep, not just one core count.
+    All core counts and predictors are submitted to the engine as one
+    job graph (the reference simulation of each mix is shared by every
+    predictor), so a parallel setup overlaps the whole sweep.
     """
+    if not predictors:
+        raise ValueError("at least one predictor spec is required")
     groups: List[Tuple[int, int, List[WorkloadMix]]] = []
     for num_cores in core_counts:
         mixes = sample_mixes(
@@ -146,17 +159,19 @@ def accuracy_experiment(
         for num_cores, config, mixes in groups
         for mix in mixes
     ]
-    evaluations = setup.evaluate_batch(pairs)
+    evaluated = setup.evaluate_predictors(pairs, predictors)
 
     results: List[AccuracyForCoreCount] = []
-    offset = 0
-    for num_cores, config, mixes in groups:
-        results.append(
-            AccuracyForCoreCount(
-                num_cores=num_cores,
-                llc_config=config,
-                evaluations=evaluations[offset : offset + len(mixes)],
+    for spec, evaluations in evaluated.items():
+        offset = 0
+        for num_cores, config, mixes in groups:
+            results.append(
+                AccuracyForCoreCount(
+                    num_cores=num_cores,
+                    llc_config=config,
+                    evaluations=evaluations[offset : offset + len(mixes)],
+                    predictor=spec,
+                )
             )
-        )
-        offset += len(mixes)
+            offset += len(mixes)
     return AccuracyResult(per_core_count=results)

@@ -21,17 +21,17 @@ does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.ranking import (
     DesignSpaceScores,
     _evaluate_mix_sets,
-    _scores_from_mppm,
 )
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
+from repro.predictors import canonical_spec, lookup_spec
 from repro.workloads import BenchmarkClass, sample_category_mixes, sample_mixes
 
 
@@ -59,16 +59,30 @@ class PairwiseAgreement:
 
 @dataclass(frozen=True)
 class AgreementResult:
-    """Figure 8: one :class:`PairwiseAgreement` per challenger configuration."""
+    """Figure 8: one :class:`PairwiseAgreement` per challenger configuration.
+
+    ``pairs`` describes the primary (first requested) predictor;
+    ``by_predictor`` maps every requested spec to its own pair list, so
+    the experiment generalises from "current practice vs MPPM" to
+    "current practice vs any set of estimators".
+    """
 
     metric: str
     pairs: List[PairwiseAgreement]
+    by_predictor: Optional[Mapping[str, List[PairwiseAgreement]]] = None
 
     def pair(self, challenger_config: int) -> PairwiseAgreement:
         for pair in self.pairs:
             if pair.challenger_config == challenger_config:
                 return pair
         raise KeyError(f"no agreement entry for config #{challenger_config}")
+
+    def pairs_for(self, predictor: str) -> List[PairwiseAgreement]:
+        """The agreement pairs of one requested predictor spec."""
+        spec = lookup_spec(predictor)
+        if self.by_predictor and spec in self.by_predictor:
+            return self.by_predictor[spec]
+        raise KeyError(f"no agreement results for predictor {predictor!r}")
 
     def to_rows(self) -> List[Mapping[str, object]]:
         return [
@@ -100,49 +114,13 @@ def _winner(stp_a: float, stp_b: float, antt_a: float, antt_b: float, metric: st
     return 0 if antt_a <= antt_b else 1
 
 
-def agreement_experiment(
-    setup: ExperimentSetup,
-    num_cores: int = 4,
-    num_trials: int = 20,
-    mixes_per_trial: int = 12,
-    reference_mixes: int = 60,
-    mppm_mixes: int = 600,
-    metric: str = "stp",
-    seed: int = 53,
-) -> AgreementResult:
-    """Run the Figure 8 experiment (current practice uses category sampling)."""
-    if metric not in ("stp", "antt"):
-        raise ValueError("metric must be 'stp' or 'antt'")
-    machines = setup.design_space(num_cores=num_cores)
-    names = setup.benchmark_names
-    classification = setup.classification()
-
-    mppm_scores = _scores_from_mppm(
-        setup,
-        sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1),
-        machines,
-        label="MPPM",
-    )
-
-    # The reference sweep and every current-practice trial go through
-    # the engine as one simulation job graph.
-    per_category = max(1, mixes_per_trial // len(BenchmarkClass))
-    simulated_mix_sets = [sample_mixes(names, num_cores, reference_mixes, seed=seed)]
-    labels = ["reference"]
-    for trial in range(num_trials):
-        simulated_mix_sets.append(
-            sample_category_mixes(
-                classification,
-                num_programs=num_cores,
-                mixes_per_category=per_category,
-                seed=seed + 100 + trial,
-            )
-        )
-        labels.append(f"trial {trial + 1}")
-    reference, *trial_scores = _evaluate_mix_sets(
-        setup, simulated_mix_sets, machines, labels, method="simulate"
-    )
-
+def _pairwise_agreements(
+    reference: DesignSpaceScores,
+    model_scores: DesignSpaceScores,
+    trial_scores: Sequence[DesignSpaceScores],
+    metric: str,
+) -> List[PairwiseAgreement]:
+    """The Figure 8 fractions for one model against the trials and reference."""
     baseline_index = reference.config_numbers.index(1)
     pairs: List[PairwiseAgreement] = []
     for challenger in (2, 3, 4, 5, 6):
@@ -158,21 +136,21 @@ def agreement_experiment(
             )
 
         reference_winner = winner_of(reference)
-        mppm_winner = winner_of(mppm_scores)
+        model_winner = winner_of(model_scores)
 
-        agree_right = agree_wrong = disagree_mppm = disagree_practice = 0
+        agree_right = agree_wrong = disagree_model = disagree_practice = 0
         for scores in trial_scores:
             practice_winner = winner_of(scores)
             practice_correct = practice_winner == reference_winner
-            mppm_correct = mppm_winner == reference_winner
-            if practice_winner == mppm_winner:
+            model_correct = model_winner == reference_winner
+            if practice_winner == model_winner:
                 if practice_correct:
                     agree_right += 1
                 else:
                     agree_wrong += 1
             else:
-                if mppm_correct:
-                    disagree_mppm += 1
+                if model_correct:
+                    disagree_model += 1
                 else:
                     disagree_practice += 1
 
@@ -184,9 +162,78 @@ def agreement_experiment(
                 num_trials=len(trial_scores),
                 agree_both_right=agree_right / total,
                 agree_both_wrong=agree_wrong / total,
-                disagree_mppm_right=disagree_mppm / total,
+                disagree_mppm_right=disagree_model / total,
                 disagree_practice_right=disagree_practice / total,
             )
         )
+    return pairs
 
-    return AgreementResult(metric=metric, pairs=pairs)
+
+def agreement_experiment(
+    setup: ExperimentSetup,
+    num_cores: int = 4,
+    num_trials: int = 20,
+    mixes_per_trial: int = 12,
+    reference_mixes: int = 60,
+    mppm_mixes: int = 600,
+    metric: str = "stp",
+    predictors: Sequence[str] = ("mppm:foa",),
+    seed: int = 53,
+) -> AgreementResult:
+    """Run the Figure 8 experiment (current practice uses category sampling).
+
+    ``predictors`` lists the registry specs whose pairwise decisions
+    are checked against current practice; the paper's figure is the
+    default ``("mppm:foa",)`` and ``result.pairs`` always describes the
+    first spec (the rest are in ``result.by_predictor``).
+    """
+    if metric not in ("stp", "antt"):
+        raise ValueError("metric must be 'stp' or 'antt'")
+    if not predictors:
+        raise ValueError("at least one predictor spec is required")
+    predictors = [canonical_spec(spec) for spec in predictors]
+    machines = setup.design_space(num_cores=num_cores)
+    names = setup.benchmark_names
+    classification = setup.classification()
+
+    model_mixes = sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1)
+    model_scores = _evaluate_mix_sets(
+        setup,
+        [model_mixes] * len(predictors),
+        machines,
+        list(predictors),
+        list(predictors),
+    )
+
+    # The reference sweep and every current-practice trial go through
+    # the engine as one detailed-simulation job graph.
+    per_category = max(1, mixes_per_trial // len(BenchmarkClass))
+    simulated_mix_sets = [sample_mixes(names, num_cores, reference_mixes, seed=seed)]
+    labels = ["reference"]
+    for trial in range(num_trials):
+        simulated_mix_sets.append(
+            sample_category_mixes(
+                classification,
+                num_programs=num_cores,
+                mixes_per_category=per_category,
+                seed=seed + 100 + trial,
+            )
+        )
+        labels.append(f"trial {trial + 1}")
+    reference, *trial_scores = _evaluate_mix_sets(
+        setup,
+        simulated_mix_sets,
+        machines,
+        labels,
+        ["detailed"] * len(simulated_mix_sets),
+    )
+
+    by_predictor = {
+        scores.label: _pairwise_agreements(reference, scores, trial_scores, metric)
+        for scores in model_scores
+    }
+    return AgreementResult(
+        metric=metric,
+        pairs=by_predictor[model_scores[0].label],
+        by_predictor=by_predictor,
+    )

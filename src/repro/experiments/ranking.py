@@ -24,6 +24,7 @@ import numpy as np
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.metrics import spearman_rank_correlation
+from repro.predictors import canonical_spec, lookup_spec
 from repro.workloads import (
     BenchmarkClass,
     WorkloadMix,
@@ -58,12 +59,31 @@ class DesignSpaceScores:
 
 @dataclass(frozen=True)
 class RankingResult:
-    """Everything Figure 7 plots, for one selection policy."""
+    """Everything Figure 7 plots, for one selection policy.
+
+    ``models`` holds one :class:`DesignSpaceScores` per requested
+    predictor spec (labelled by it); the paper's single-model figure is
+    the special case ``predictors=("mppm:foa",)``, exposed through the
+    ``mppm`` convenience accessors.
+    """
 
     policy: str
     reference: DesignSpaceScores
-    mppm: DesignSpaceScores
+    models: List[DesignSpaceScores]
     trials: List[DesignSpaceScores]
+
+    @property
+    def mppm(self) -> DesignSpaceScores:
+        """The first (primary) model's scores — MPPM in the paper's setup."""
+        return self.models[0]
+
+    def model(self, spec: str) -> DesignSpaceScores:
+        """The scores of one requested predictor, by spec label."""
+        label = lookup_spec(spec)
+        for scores in self.models:
+            if scores.label == label:
+                return scores
+        raise KeyError(f"no ranking scores for predictor {spec!r}")
 
     @property
     def trial_stp_correlations(self) -> List[float]:
@@ -107,13 +127,14 @@ class RankingResult:
                 "ANTT_rank_corr": self.average_trial_antt_correlation,
             }
         )
-        rows.append(
-            {
-                "set": "MPPM",
-                "STP_rank_corr": self.mppm_stp_correlation,
-                "ANTT_rank_corr": self.mppm_antt_correlation,
-            }
-        )
+        for scores in self.models:
+            rows.append(
+                {
+                    "set": scores.label,
+                    "STP_rank_corr": scores.stp_rank_correlation(self.reference),
+                    "ANTT_rank_corr": scores.antt_rank_correlation(self.reference),
+                }
+            )
         return rows
 
     def render(self) -> str:
@@ -153,21 +174,25 @@ def _evaluate_mix_sets(
     mix_sets: Sequence[Sequence[WorkloadMix]],
     machines: Sequence,
     labels: Sequence[str],
-    method: str,
+    predictors: Sequence[str],
 ) -> List[DesignSpaceScores]:
-    """Score several mix sets over the whole design space in ONE job graph.
+    """Score several (mix set, predictor) sweeps over the design space in ONE job graph.
 
-    Every (mix, machine) pair of every set becomes one engine job, so a
-    parallel setup overlaps the reference sweep and all trials instead
-    of processing them one design point at a time.
+    ``predictors[k]`` is the registry spec that evaluates
+    ``mix_sets[k]`` (``"detailed"`` for reference/trial sweeps,
+    ``"mppm:foa"`` et al. for model sweeps) — one unified code path
+    for every estimator.  Every (mix, machine) unit of every set
+    becomes one engine job, so a parallel setup overlaps the reference
+    sweep, the trials and all model sweeps instead of processing them
+    one design point at a time.
     """
-    pairs = [
-        (mix, machine) for mixes in mix_sets for machine in machines for mix in mixes
+    items = [
+        (spec, mix, machine)
+        for mixes, spec in zip(mix_sets, predictors)
+        for machine in machines
+        for mix in mixes
     ]
-    if method == "simulate":
-        results = setup.simulate_batch(pairs)
-    else:
-        results = setup.predict_batch(pairs)
+    results = setup.predictor_batch(items)
 
     scores: List[DesignSpaceScores] = []
     offset = 0
@@ -180,22 +205,14 @@ def _evaluate_mix_sets(
     return scores
 
 
-def _scores_from_simulation(
+def _scores_from_predictor(
     setup: ExperimentSetup,
     mixes: Sequence[WorkloadMix],
     machines: Sequence,
     label: str,
+    predictor: str,
 ) -> DesignSpaceScores:
-    return _evaluate_mix_sets(setup, [mixes], machines, [label], method="simulate")[0]
-
-
-def _scores_from_mppm(
-    setup: ExperimentSetup,
-    mixes: Sequence[WorkloadMix],
-    machines: Sequence,
-    label: str,
-) -> DesignSpaceScores:
-    return _evaluate_mix_sets(setup, [mixes], machines, [label], method="predict")[0]
+    return _evaluate_mix_sets(setup, [mixes], machines, [label], [predictor])[0]
 
 
 def ranking_experiment(
@@ -206,27 +223,45 @@ def ranking_experiment(
     mixes_per_trial: int = 12,
     reference_mixes: int = 60,
     mppm_mixes: int = 600,
+    predictors: Sequence[str] = ("mppm:foa",),
     seed: int = 41,
 ) -> RankingResult:
     """Run one panel of Figure 7.
 
     ``policy`` is ``"random"`` (Figure 7a) or ``"category"``
     (Figure 7b: equal parts MEM / COMP / MIX category mixes per trial).
-    The paper's sizes are 20 trials x 12 mixes, a 150-mix reference and
-    5,000 MPPM mixes; the defaults are smaller but parameterised.
+    ``predictors`` is the list of registry specs ranked over the large
+    (``mppm_mixes``) sample — the paper's figure is the default
+    ``("mppm:foa",)``, but any estimators can compete (baselines,
+    other contention models, even ``detailed``).  The paper's sizes are
+    20 trials x 12 mixes, a 150-mix reference and 5,000 MPPM mixes; the
+    defaults are smaller but parameterised.
     """
     if policy not in ("random", "category"):
         raise ValueError("policy must be 'random' or 'category'")
+    if not predictors:
+        raise ValueError("at least one predictor spec is required")
+    predictors = [canonical_spec(spec) for spec in predictors]
     machines = setup.design_space(num_cores=num_cores)
     names = setup.benchmark_names
 
     reference_mix_list = sample_mixes(names, num_cores, reference_mixes, seed=seed)
-    reference = _scores_from_simulation(
-        setup, reference_mix_list, machines, label="reference (detailed simulation)"
+    reference = _scores_from_predictor(
+        setup,
+        reference_mix_list,
+        machines,
+        label="reference (detailed simulation)",
+        predictor="detailed",
     )
 
-    mppm_mix_list = sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1)
-    mppm_scores = _scores_from_mppm(setup, mppm_mix_list, machines, label="MPPM")
+    model_mix_list = sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1)
+    model_scores = _evaluate_mix_sets(
+        setup,
+        [model_mix_list] * len(predictors),
+        machines,
+        list(predictors),
+        list(predictors),
+    )
 
     classification = setup.classification()
     trial_mix_sets: List[Sequence[WorkloadMix]] = []
@@ -249,7 +284,9 @@ def ranking_experiment(
         trial_mix_sets,
         machines,
         [f"trial {trial + 1}" for trial in range(num_trials)],
-        method="simulate",
+        ["detailed"] * num_trials,
     )
 
-    return RankingResult(policy=policy, reference=reference, mppm=mppm_scores, trials=trials)
+    return RankingResult(
+        policy=policy, reference=reference, models=model_scores, trials=trials
+    )

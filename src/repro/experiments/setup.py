@@ -31,6 +31,13 @@ from repro.core import MPPM, MPPMConfig
 from repro.core.result import MixPrediction
 from repro.engine import Executor, JobGraph, create_engine
 from repro.engine import tasks as engine_tasks
+from repro.predictors import (
+    DEFAULT_PREDICTOR,
+    PredictorError,
+    canonical_spec,
+    make_predictor,
+    prediction_from_run,
+)
 from repro.profiling import ProfileStore, SingleCoreProfile
 from repro.simulators import (
     KERNELS as SINGLE_CORE_KERNELS,
@@ -48,6 +55,13 @@ from repro.workloads import (
 
 #: One (mix, machine) unit of a bulk evaluation.
 MixJob = Tuple[WorkloadMix, MachineConfig]
+
+#: One (predictor spec, mix, machine) unit of a heterogeneous sweep.
+PredictJob = Tuple[str, WorkloadMix, MachineConfig]
+
+#: Sentinel op for "run the raw reference simulator" in a sweep graph
+#: (returns a MultiCoreRunResult rather than a MixPrediction).
+_SIMULATE = "simulate"
 
 
 @dataclass(frozen=True)
@@ -129,7 +143,9 @@ class ExperimentSetup:
         self.engine = engine if engine is not None else create_engine(jobs, self.cache_dir)
         self.token = engine_tasks.register_setup(self)
         self._reference_cache: Dict[Tuple[Tuple[str, ...], str, int], MultiCoreRunResult] = {}
-        self._prediction_cache: Dict[Tuple[Tuple[str, ...], str, int], MixPrediction] = {}
+        self._prediction_cache: Dict[
+            Tuple[str, Tuple[str, ...], str, int], MixPrediction
+        ] = {}
         self._profiles_cache: Dict[str, Dict[str, SingleCoreProfile]] = {}
 
     # ------------------------------------------------------------------
@@ -169,6 +185,18 @@ class ExperimentSetup:
         """The per-program LLC access traces for one mix (cached per benchmark)."""
         return [self.store.get_llc_trace(self.suite[name], machine) for name in mix.programs]
 
+    def mix_profiles(self, mix: WorkloadMix, machine: MachineConfig) -> Dict[str, SingleCoreProfile]:
+        """Single-core profiles of just the mix's own benchmarks.
+
+        Going through the store (rather than profiling the whole suite
+        up front) keeps engine workers from paying for benchmarks they
+        never touch.
+        """
+        return {
+            name: self.store.get_profile(self.suite[name], machine)
+            for name in sorted(set(mix.programs))
+        }
+
     # ------------------------------------------------------------------
     # Model and reference simulation
     # ------------------------------------------------------------------
@@ -182,33 +210,48 @@ class ExperimentSetup:
         """An MPPM instance for ``machine``."""
         return MPPM(machine, contention_model=contention_model, config=mppm_config)
 
+    def predictor(self, spec: str, mppm_config: Optional[MPPMConfig] = None):
+        """A :class:`~repro.predictors.Predictor` bound to this setup."""
+        return make_predictor(spec, self, mppm_config=mppm_config)
+
     def predict(
         self,
         mix: WorkloadMix,
         machine: MachineConfig,
+        predictor: Optional[str] = None,
         contention_model: Optional[ContentionModel] = None,
         mppm_config: Optional[MPPMConfig] = None,
     ) -> MixPrediction:
-        """MPPM prediction for one mix on one machine.
+        """One predictor's estimate for one mix on one machine.
 
-        Predictions with the default contention model and configuration
-        are cached (they are deterministic), so experiments that revisit
-        the same mixes — e.g. the ranking and agreement studies — pay
-        for each prediction once.
+        ``predictor`` is a registry spec (see :mod:`repro.predictors`);
+        the default is the paper's model, ``"mppm:foa"``.  Predictions
+        with a default configuration are cached (they are
+        deterministic), so experiments that revisit the same mixes —
+        e.g. the ranking and agreement studies — pay for each
+        prediction once.
+
+        ``contention_model`` takes an explicit model *instance* for the
+        ablations; that path bypasses the registry (an instance has no
+        content-stable spec) and is never cached.  It contradicts any
+        explicit ``predictor`` spec (specs encode their own contention
+        model), so passing both is an error rather than a silent pick.
         """
-        cacheable = contention_model is None and mppm_config is None
-        key = (mix.programs, machine.profile_key(), machine.num_cores)
+        if contention_model is not None:
+            if predictor is not None:
+                raise PredictorError(
+                    "pass either a predictor spec or an explicit contention_model "
+                    "instance, not both (specs encode their own contention model)"
+                )
+            # Ablation path: an explicit contention-model instance.
+            model = self.mppm(machine, contention_model=contention_model, mppm_config=mppm_config)
+            return model.predict_mix(mix, self.mix_profiles(mix, machine))
+        spec = canonical_spec(predictor if predictor is not None else DEFAULT_PREDICTOR)
+        cacheable = mppm_config is None
+        key = (spec, mix.programs, machine.profile_key(), machine.num_cores)
         if cacheable and key in self._prediction_cache:
             return self._prediction_cache[key]
-        model = self.mppm(machine, contention_model=contention_model, mppm_config=mppm_config)
-        # Only the mix's own profiles are needed; going through the
-        # store (rather than profiling the whole suite up front) keeps
-        # engine workers from paying for benchmarks they never touch.
-        profiles = {
-            name: self.store.get_profile(self.suite[name], machine)
-            for name in sorted(set(mix.programs))
-        }
-        prediction = model.predict_mix(mix, profiles)
+        prediction = self.predictor(spec, mppm_config=mppm_config).predict(mix, machine)
         if cacheable:
             self._prediction_cache[key] = prediction
         return prediction
@@ -233,23 +276,29 @@ class ExperimentSetup:
     # Bulk evaluation through the engine
     # ------------------------------------------------------------------
 
-    def _mix_graph(
+    def _sweep_graph(
         self,
-        pairs: Sequence[MixJob],
-        kinds: Sequence[str],
+        ops: Sequence[PredictJob],
         contention_model: Optional[ContentionModel] = None,
         mppm_config: Optional[MPPMConfig] = None,
     ) -> JobGraph:
         """One graph for a sweep: a profile warm-up wave, then mix jobs.
 
-        The warm-up wave covers every (benchmark, machine) pair the
-        sweep touches, runs locally (so forked pool workers inherit the
-        warm profile store) and is optional (skipped when every mix job
-        is served from the result cache).
+        Each op is ``(spec, mix, machine)`` where ``spec`` is a
+        predictor spec or the ``"simulate"`` sentinel for the raw
+        reference simulator; op ``i``'s result is keyed ``"op:i"``.
+        ``detailed`` ops run as simulate jobs (their expensive part IS
+        the reference simulation, and this shares one cache entry with
+        every other reference run of the pair); :meth:`_run_ops`
+        repackages their results as predictions.  The warm-up wave
+        covers every (benchmark, machine) pair the sweep touches, runs
+        locally (so forked pool workers inherit the warm profile store)
+        and is optional (skipped when every mix job is served from the
+        result cache).
         """
         graph = JobGraph()
         profile_keys: Dict[Tuple[str, str], str] = {}
-        for mix, machine in pairs:
+        for _, mix, machine in ops:
             for name in sorted(set(mix.programs)):
                 pair_key = (machine.profile_key(), name)
                 if pair_key not in profile_keys:
@@ -257,25 +306,26 @@ class ExperimentSetup:
                         engine_tasks.profile_job(self, self.suite[name], machine, optional=True)
                     )
                     profile_keys[pair_key] = job.key
-        for i, (mix, machine) in enumerate(pairs):
+        for i, (spec, mix, machine) in enumerate(ops):
             deps = tuple(
                 profile_keys[(machine.profile_key(), name)] for name in sorted(set(mix.programs))
             )
-            if "predict" in kinds:
+            if spec in (_SIMULATE, "detailed"):
+                graph.add(
+                    engine_tasks.simulate_job(self, mix, machine, key=f"op:{i}", deps=deps)
+                )
+            else:
                 graph.add(
                     engine_tasks.predict_job(
                         self,
                         mix,
                         machine,
-                        key=f"predict:{i}",
+                        key=f"op:{i}",
                         deps=deps,
+                        predictor=spec,
                         contention_model=contention_model,
                         mppm_config=mppm_config,
                     )
-                )
-            if "simulate" in kinds:
-                graph.add(
-                    engine_tasks.simulate_job(self, mix, machine, key=f"simulate:{i}", deps=deps)
                 )
         return graph
 
@@ -329,50 +379,117 @@ class ExperimentSetup:
             self.store.absorb(spec, machine, profiled)
         self.engine.refresh_workers()
 
-    def _run_mix_graph(self, graph: JobGraph) -> Dict[str, object]:
+    def _run_ops(
+        self,
+        ops: Sequence[PredictJob],
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> List[object]:
+        """Run one sweep graph and return op results in input order.
+
+        ``detailed`` ops come back from the graph as raw
+        :class:`MultiCoreRunResult`\\ s (they share the reference
+        simulation's job and cache entry) and are repackaged as
+        predictions here.
+        """
+        graph = self._sweep_graph(ops, contention_model, mppm_config)
         self._parallel_warm(graph)
-        return self.engine.run(graph)
+        results = self.engine.run(graph)
+        return [
+            prediction_from_run(results[f"op:{i}"])
+            if spec == "detailed"
+            else results[f"op:{i}"]
+            for i, (spec, _, _) in enumerate(ops)
+        ]
+
+    def predictor_batch(self, items: Sequence[PredictJob]) -> List[MixPrediction]:
+        """Heterogeneous predictor sweep: (spec, mix, machine) triples.
+
+        Every item becomes one engine job keyed by its spec, so a sweep
+        that mixes estimators — e.g. ``mppm:foa`` against the baselines
+        and ``detailed`` — caches and parallelises exactly like a
+        homogeneous one.  Results come back in input order.
+        """
+        ops = [(canonical_spec(spec), mix, machine) for spec, mix, machine in items]
+        return self._run_ops(ops)
 
     def predict_batch(
         self,
         pairs: Sequence[MixJob],
+        predictor: Optional[str] = None,
         contention_model: Optional[ContentionModel] = None,
         mppm_config: Optional[MPPMConfig] = None,
     ) -> List[MixPrediction]:
-        """MPPM predictions for many (mix, machine) pairs, in input order."""
-        graph = self._mix_graph(pairs, ("predict",), contention_model, mppm_config)
-        results = self._run_mix_graph(graph)
-        return [results[f"predict:{i}"] for i in range(len(pairs))]
+        """One predictor's estimates for many (mix, machine) pairs, in input order."""
+        if contention_model is not None and predictor is not None:
+            raise PredictorError(
+                "pass either a predictor spec or an explicit contention_model "
+                "instance, not both (specs encode their own contention model)"
+            )
+        spec = canonical_spec(predictor if predictor is not None else DEFAULT_PREDICTOR)
+        ops = [(spec, mix, machine) for mix, machine in pairs]
+        return self._run_ops(ops, contention_model, mppm_config)
 
     def simulate_batch(self, pairs: Sequence[MixJob]) -> List[MultiCoreRunResult]:
         """Reference simulations for many (mix, machine) pairs, in input order."""
-        graph = self._mix_graph(pairs, ("simulate",))
-        results = self._run_mix_graph(graph)
-        return [results[f"simulate:{i}"] for i in range(len(pairs))]
+        return self._run_ops([(_SIMULATE, mix, machine) for mix, machine in pairs])
 
-    def evaluate_batch(self, pairs: Sequence[MixJob]) -> List["MixEvaluation"]:
-        """Both MPPM and the reference for many (mix, machine) pairs."""
+    def evaluate_predictors(
+        self, pairs: Sequence[MixJob], predictors: Sequence[str]
+    ) -> Dict[str, List["MixEvaluation"]]:
+        """Evaluate several predictors against the reference in ONE job graph.
+
+        Returns ``{spec: [MixEvaluation, ...]}`` with evaluations in
+        pair order; the reference simulation of each pair is shared by
+        every predictor, so comparing N estimators costs N prediction
+        sweeps plus a single simulation sweep.  A ``detailed`` spec in
+        the list is served from that same simulation sweep (a pure
+        repackaging), not simulated a second time.
+        """
         from repro.experiments.results import MixEvaluation
 
-        graph = self._mix_graph(pairs, ("predict", "simulate"))
-        results = self._run_mix_graph(graph)
-        return [
-            MixEvaluation(
-                mix=mix, predicted=results[f"predict:{i}"], measured=results[f"simulate:{i}"]
-            )
-            for i, (mix, machine) in enumerate(pairs)
+        specs = [canonical_spec(spec) for spec in predictors]
+        model_specs = [spec for spec in specs if spec != "detailed"]
+        ops: List[PredictJob] = [
+            (spec, mix, machine) for spec in model_specs for mix, machine in pairs
         ]
+        ops.extend((_SIMULATE, mix, machine) for mix, machine in pairs)
+        results = self._run_ops(ops)
+        measured = results[len(model_specs) * len(pairs) :]
+        predicted_by_spec = {
+            spec: results[index * len(pairs) : (index + 1) * len(pairs)]
+            for index, spec in enumerate(model_specs)
+        }
+        if "detailed" in specs:
+            predicted_by_spec["detailed"] = [prediction_from_run(run) for run in measured]
+        evaluated: Dict[str, List[MixEvaluation]] = {}
+        for spec in specs:
+            evaluated[spec] = [
+                MixEvaluation(mix=mix, predicted=prediction, measured=measurement)
+                for (mix, _), prediction, measurement in zip(
+                    pairs, predicted_by_spec[spec], measured
+                )
+            ]
+        return evaluated
+
+    def evaluate_batch(
+        self, pairs: Sequence[MixJob], predictor: Optional[str] = None
+    ) -> List["MixEvaluation"]:
+        """One predictor and the reference for many (mix, machine) pairs."""
+        spec = canonical_spec(predictor if predictor is not None else DEFAULT_PREDICTOR)
+        return self.evaluate_predictors(pairs, (spec,))[spec]
 
     def predict_many(
         self,
         mixes: Sequence[WorkloadMix],
         machine: MachineConfig,
+        predictor: Optional[str] = None,
         contention_model: Optional[ContentionModel] = None,
         mppm_config: Optional[MPPMConfig] = None,
     ) -> List[MixPrediction]:
-        """MPPM predictions for many mixes on one machine."""
+        """One predictor's estimates for many mixes on one machine."""
         return self.predict_batch(
-            [(mix, machine) for mix in mixes], contention_model, mppm_config
+            [(mix, machine) for mix in mixes], predictor, contention_model, mppm_config
         )
 
     def simulate_many(
@@ -382,10 +499,13 @@ class ExperimentSetup:
         return self.simulate_batch([(mix, machine) for mix in mixes])
 
     def evaluate_many(
-        self, mixes: Sequence[WorkloadMix], machine: MachineConfig
+        self,
+        mixes: Sequence[WorkloadMix],
+        machine: MachineConfig,
+        predictor: Optional[str] = None,
     ) -> List["MixEvaluation"]:
         """Predictions and reference simulations for many mixes on one machine."""
-        return self.evaluate_batch([(mix, machine) for mix in mixes])
+        return self.evaluate_batch([(mix, machine) for mix in mixes], predictor)
 
     def close(self) -> None:
         """Release the engine's worker pool (idempotent; serial is a no-op)."""

@@ -27,19 +27,35 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.results import MixEvaluation, evaluate_mixes
+from repro.experiments.results import MixEvaluation
 from repro.experiments.setup import ExperimentSetup
+from repro.predictors import lookup_spec
 from repro.workloads import WorkloadMix, sample_mixes
 
 
 @dataclass(frozen=True)
 class StressResult:
-    """Figure 9: sorted STP curves and worst-case overlap."""
+    """Figure 9: sorted STP curves and worst-case overlap.
+
+    ``evaluations`` (and every derived curve/overlap) describes the
+    primary predictor — ``predictor`` names its registry spec; when
+    several predictors were requested, ``by_predictor`` carries each
+    spec's evaluations of the same mixes.
+    """
 
     num_cores: int
     llc_config: int
     evaluations: List[MixEvaluation]
     worst_k: int
+    predictor: str = "mppm:foa"
+    by_predictor: Optional[Mapping[str, List[MixEvaluation]]] = None
+
+    def evaluations_for(self, predictor: str) -> List[MixEvaluation]:
+        """The evaluations of one requested predictor spec."""
+        spec = lookup_spec(predictor)
+        if self.by_predictor and spec in self.by_predictor:
+            return self.by_predictor[spec]
+        raise KeyError(f"no stress evaluations for predictor {predictor!r}")
 
     # ------------------------------------------------------------------
     # Sorted curves
@@ -113,14 +129,29 @@ def stress_experiment(
     llc_config: int = 1,
     num_mixes: int = 60,
     worst_k: int = 10,
+    predictors: Sequence[str] = ("mppm:foa",),
     seed: int = 61,
 ) -> StressResult:
-    """Run the Figure 9 experiment (paper: 150 mixes, worst 25)."""
+    """Run the Figure 9 experiment (paper: 150 mixes, worst 25).
+
+    ``predictors`` lists the registry specs scanned for worst-case
+    mixes; the headline curves and overlap use the first spec, and the
+    reference simulation of each mix is shared by every predictor.
+    """
+    if not predictors:
+        raise ValueError("at least one predictor spec is required")
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
-    evaluations = evaluate_mixes(setup, mixes, machine)
+    pairs = [(mix, machine) for mix in mixes]
+    evaluated = setup.evaluate_predictors(pairs, predictors)
+    primary = next(iter(evaluated))
     return StressResult(
-        num_cores=num_cores, llc_config=llc_config, evaluations=evaluations, worst_k=worst_k
+        num_cores=num_cores,
+        llc_config=llc_config,
+        evaluations=evaluated[primary],
+        worst_k=worst_k,
+        predictor=primary,
+        by_predictor=evaluated,
     )
 
 

@@ -20,6 +20,7 @@ from typing import List, Mapping, Sequence
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.metrics import confidence_interval
+from repro.predictors import PredictorError, available_predictors, canonical_spec
 from repro.workloads import WorkloadMix, sample_mixes
 
 
@@ -80,6 +81,10 @@ class VariabilityResult:
         raise KeyError(f"no variability point for {num_mixes} mixes")
 
 
+#: Legacy ``source`` names mapped onto registry predictor specs.
+_SOURCE_SPECS = {"simulation": "detailed", "mppm": "mppm:foa"}
+
+
 def variability_experiment(
     setup: ExperimentSetup,
     num_cores: int = 4,
@@ -91,19 +96,24 @@ def variability_experiment(
 ) -> VariabilityResult:
     """Run the Figure 3 experiment.
 
-    ``source`` selects whether mixes are evaluated with the detailed
-    reference simulator (``"simulation"``, as in the paper) or with
-    MPPM (``"mppm"``), which produces the same curve far faster.
+    ``source`` selects the estimator that evaluates the mixes: the
+    legacy names ``"simulation"`` (detailed reference, as in the
+    paper) and ``"mppm"`` (far faster, same curve) still work, and any
+    registry predictor spec (``"mppm:sdc"``,
+    ``"baseline:one-shot"``, …) is accepted — the two historical code
+    paths are now one.
     """
-    if source not in ("simulation", "mppm"):
-        raise ValueError("source must be 'simulation' or 'mppm'")
+    try:
+        spec = canonical_spec(_SOURCE_SPECS.get(source, source))
+    except PredictorError:
+        raise ValueError(
+            "source must be 'simulation', 'mppm' or a predictor spec; "
+            + ", ".join(available_predictors())
+        ) from None
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
     mixes = sample_mixes(setup.benchmark_names, num_cores, max_mixes, seed=seed)
 
-    if source == "simulation":
-        results = setup.simulate_many(mixes, machine)
-    else:
-        results = setup.predict_many(mixes, machine)
+    results = setup.predict_many(mixes, machine, predictor=spec)
     stp_values: List[float] = [result.system_throughput for result in results]
     antt_values: List[float] = [
         result.average_normalized_turnaround_time for result in results

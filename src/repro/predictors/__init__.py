@@ -1,0 +1,149 @@
+"""Unified Predictor API: one registry for every performance estimator.
+
+The paper compares *estimators* of multi-program performance — the
+iterative MPPM, two degenerate baselines and detailed simulation.  This
+package gives all of them one first-class abstraction (the
+:class:`Predictor` protocol) and one spec-string registry, mirroring
+:func:`repro.contention.make_contention_model`:
+
+======================== ==================================================
+Spec                     Estimator
+======================== ==================================================
+``mppm:foa``             iterative MPPM, FOA contention model (the default)
+``mppm:sdc``             iterative MPPM, stack-distance-competition model
+``mppm:prob``            iterative MPPM, inductive-probability model
+``baseline:no-contention`` cache sharing assumed free (single-core CPIs)
+``baseline:one-shot``    one contention pass, no iterative entanglement
+``detailed``             the detailed shared-LLC reference simulation
+======================== ==================================================
+
+``make_predictor(spec, setup)`` constructs a predictor bound to an
+:class:`~repro.experiments.setup.ExperimentSetup` (its profile store
+and, for ``detailed``, its memoised reference simulations).  Every
+experiment and CLI command accepts these specs, and
+:mod:`repro.engine.tasks` caches and parallelises them keyed by
+``(spec, mix, machine)`` — so any new estimator (a learned model, a
+hybrid scheme, a new contention model) becomes available to the whole
+stack through a single registry entry here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Mapping, Optional, Tuple
+
+from repro.contention import available_contention_models
+from repro.core.mppm import MPPMConfig
+from repro.predictors.base import Predictor, PredictorError, tag_prediction
+from repro.predictors.baseline import VARIANTS as _BASELINE_VARIANTS, BaselinePredictor
+from repro.predictors.detailed import DetailedSimulationPredictor, prediction_from_run
+from repro.predictors.mppm import MPPMPredictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.setup import ExperimentSetup
+
+__all__ = [
+    "Predictor",
+    "PredictorError",
+    "MPPMPredictor",
+    "BaselinePredictor",
+    "DetailedSimulationPredictor",
+    "DEFAULT_PREDICTOR",
+    "available_predictors",
+    "canonical_spec",
+    "describe_predictors",
+    "lookup_spec",
+    "make_predictor",
+    "prediction_from_run",
+    "predictor_requires_traces",
+    "tag_prediction",
+]
+
+#: The spec every experiment and CLI command defaults to (the paper's model).
+DEFAULT_PREDICTOR = "mppm:foa"
+
+
+def _spec_table() -> Mapping[str, str]:
+    """spec -> one-line description, in canonical listing order."""
+    table = {
+        f"mppm:{name}": f"iterative MPPM with the {name.upper()} cache-contention model"
+        for name in available_contention_models()
+    }
+    for variant, (_, description) in _BASELINE_VARIANTS.items():
+        table[f"baseline:{variant}"] = description
+    table["detailed"] = "detailed shared-LLC multi-core simulation (the reference)"
+    return table
+
+
+def available_predictors() -> List[str]:
+    """All registered predictor specs, in canonical listing order."""
+    return list(_spec_table())
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalise and validate a predictor spec string.
+
+    ``"mppm"`` is shorthand for the default ``"mppm:foa"``.  Raises
+    :class:`PredictorError` (a ``ValueError``) listing the available
+    specs for anything the registry does not know.
+    """
+    normalised = spec.strip().lower()
+    if normalised == "mppm":
+        normalised = DEFAULT_PREDICTOR
+    if normalised not in _spec_table():
+        raise PredictorError(
+            f"unknown predictor spec {spec!r}; available predictors: "
+            + ", ".join(available_predictors())
+        )
+    return normalised
+
+
+def make_predictor(
+    spec: str,
+    setup: "ExperimentSetup",
+    mppm_config: Optional[MPPMConfig] = None,
+) -> Predictor:
+    """Construct a predictor by spec, bound to an experiment setup.
+
+    ``mppm_config`` tunes the iterative model and is only meaningful
+    for ``mppm:*`` specs; passing it with any other spec is an error.
+    """
+    canonical = canonical_spec(spec)
+    family, _, variant = canonical.partition(":")
+    if family != "mppm" and mppm_config is not None:
+        raise PredictorError(
+            f"mppm_config only applies to mppm:* predictors, not {canonical!r}"
+        )
+    if family == "mppm":
+        return MPPMPredictor(setup, contention=variant, mppm_config=mppm_config)
+    if family == "baseline":
+        return BaselinePredictor(setup, variant=variant)
+    return DetailedSimulationPredictor(setup)
+
+
+def lookup_spec(spec: str) -> str:
+    """Best-effort canonicalisation for result lookups.
+
+    Result accessors key by canonical spec; this lets them accept the
+    same shorthand the experiments accept (``"mppm"``, mixed case)
+    while passing unknown strings through unchanged so the accessor
+    raises its own KeyError rather than a registry error.
+    """
+    try:
+        return canonical_spec(spec)
+    except PredictorError:
+        return spec
+
+
+def predictor_requires_traces(spec: str) -> bool:
+    """Whether the predictor replays LLC access traces (vs. profiles only).
+
+    The engine's parallel warm-up phase uses this to decide whether a
+    disk-cached profile is enough or the full (profile, trace) bundle
+    must be simulated before mix jobs fan out.
+    """
+    return canonical_spec(spec) == "detailed"
+
+
+def describe_predictors() -> List[Tuple[str, str]]:
+    """(spec, description) rows for every registered predictor."""
+    return list(_spec_table().items())

@@ -1,0 +1,54 @@
+"""MPPM as a registry predictor (``mppm:<contention-model>``).
+
+One registry entry per cache-contention model: ``mppm:foa`` (the
+paper's choice and the package default), ``mppm:sdc`` and
+``mppm:prob``.  The predictor draws single-core profiles through the
+setup's :class:`~repro.profiling.store.ProfileStore` — exactly the code
+path the pre-registry ``ExperimentSetup.predict`` used, so predictions
+are bit-identical to it by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.contention import make_contention_model
+from repro.core import MPPM, MPPMConfig
+from repro.core.result import MixPrediction
+from repro.predictors.base import tag_prediction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.machine import MachineConfig
+    from repro.experiments.setup import ExperimentSetup
+    from repro.workloads.mixes import WorkloadMix
+
+
+class MPPMPredictor:
+    """The iterative Multi-Program Performance Model behind the Predictor API."""
+
+    def __init__(
+        self,
+        setup: "ExperimentSetup",
+        contention: str = "foa",
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> None:
+        self.setup = setup
+        self.contention = contention
+        self.mppm_config = mppm_config
+        self.spec = f"mppm:{contention}"
+
+    def predict(self, mix: "WorkloadMix", machine: "MachineConfig") -> MixPrediction:
+        """Run the iterative model on the mix's single-core profiles."""
+        model = MPPM(
+            machine,
+            contention_model=make_contention_model(self.contention),
+            config=self.mppm_config,
+        )
+        profiles = self.setup.mix_profiles(mix, machine)
+        return tag_prediction(model.predict_mix(mix, profiles), self.spec)
+
+    def describe(self) -> str:
+        return (
+            f"iterative MPPM with the {self.contention.upper()} cache-contention model "
+            "(single-core profiles only)"
+        )

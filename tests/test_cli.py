@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["suite"])
         assert args.command == "suite"
-        for command in ("suite", "profile", "predict", "compare", "rank", "stress"):
+        for command in ("suite", "models", "profile", "predict", "compare", "rank", "stress"):
             assert command in parser.format_help()
 
     def test_missing_subcommand_is_an_error(self):
@@ -25,6 +25,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["suite", "--llc-config", "9"])
 
+    def test_model_specs_are_canonicalised_and_validated(self, capsys):
+        args = build_parser().parse_args(["predict", "--model", "MPPM", "gamess"])
+        assert args.model == "mppm:foa"
+        args = build_parser().parse_args(
+            ["compare", "--model", "detailed", "--model", "mppm:sdc", "gamess"]
+        )
+        assert args.models == ["detailed", "mppm:sdc"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--model", "oracle", "gamess"])
+        # The rejection names the available specs.
+        assert "mppm:foa" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_suite_lists_benchmarks_and_classes(self, capsys):
@@ -32,6 +44,49 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "gamess" in output
         assert "class" in output
+
+    def test_models_lists_the_predictor_registry(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        for spec in (
+            "mppm:foa",
+            "mppm:sdc",
+            "mppm:prob",
+            "baseline:no-contention",
+            "baseline:one-shot",
+            "detailed",
+        ):
+            assert spec in output
+        assert "default: mppm:foa" in output
+
+    def test_predict_with_model_flag(self, capsys):
+        assert main(["predict", *FAST, "--model", "baseline:no-contention", "gamess", "hmmer"]) == 0
+        output = capsys.readouterr().out
+        assert "baseline:no-contention" in output and "STP" in output
+
+    def test_compare_with_repeated_models(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    *FAST,
+                    "--model",
+                    "mppm:foa",
+                    "--model",
+                    "baseline:one-shot",
+                    "gamess",
+                    "soplex",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "[mppm:foa] STP" in output and "[baseline:one-shot] STP" in output
+
+    def test_rank_with_model_flag(self, capsys):
+        assert main(["rank", *FAST, "--cores", "2", "--mixes", "3", "--model", "mppm:prob"]) == 0
+        output = capsys.readouterr().out
+        assert "ranked by mppm:prob" in output
 
     def test_profile_reports_cpi_columns(self, capsys):
         assert main(["profile", *FAST, "gamess", "hmmer"]) == 0

@@ -133,7 +133,7 @@ class TestRankingAndAgreement:
         assert result.reference.config_numbers == [1, 2, 3, 4, 5, 6]
         assert result.mppm.best_config_by_stp() in range(1, 7)
         rows = result.to_rows()
-        assert rows[-1]["set"] == "MPPM"
+        assert rows[-1]["set"] == "mppm:foa"
         assert "Figure 7" in result.render()
 
     def test_ranking_category_policy_and_validation(self, setup):
