@@ -9,8 +9,10 @@ shared-cache contention.
 The package layers, bottom-up:
 
 * :mod:`repro.config` — machine configurations (Tables 1 and 2),
-* :mod:`repro.workloads` — the synthetic SPEC CPU2006-like benchmark
-  suite, trace generation and multi-program mix sampling,
+* :mod:`repro.workloads` — the unified Workload API: one spec-string
+  registry (``make_workload``) covering the SPEC CPU2006-like suite,
+  parametric ``random:*`` families and microservice-like ``service:*``
+  benchmarks, plus trace generation and multi-program mix sampling,
 * :mod:`repro.caches`, :mod:`repro.cores` — the cache and core timing
   substrate,
 * :mod:`repro.simulators` — the detailed single-core profiler and the
@@ -47,10 +49,18 @@ from repro.predictors import (
     make_predictor,
 )
 from repro.simulators import KERNELS
-from repro.workloads import WorkloadMix, spec_cpu2006_like_suite
+from repro.workloads import (
+    DEFAULT_WORKLOAD,
+    GENERATOR_KERNELS,
+    WorkloadMix,
+    WorkloadSource,
+    available_workloads,
+    make_workload,
+    spec_cpu2006_like_suite,
+)
 from repro.experiments import ExperimentConfig, ExperimentSetup, default_setup
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MPPM",
@@ -58,15 +68,20 @@ __all__ = [
     "MixPrediction",
     "Predictor",
     "DEFAULT_PREDICTOR",
+    "DEFAULT_WORKLOAD",
     "KERNELS",
+    "GENERATOR_KERNELS",
     "WorkloadMix",
+    "WorkloadSource",
     "available_contention_models",
     "available_predictors",
+    "available_workloads",
     "baseline_machine",
     "machine_with_llc",
     "llc_design_space",
     "make_contention_model",
     "make_predictor",
+    "make_workload",
     "scaled",
     "spec_cpu2006_like_suite",
     "ExperimentConfig",

@@ -4,7 +4,12 @@ The CLI wraps the most common workflows behind one executable
 (``repro-mppm`` after installation, or ``python -m repro.cli``):
 
 ``suite``
-    List the synthetic benchmark suite and the MEM/COMP/MIX classes.
+    List the selected workload's benchmark suite and the MEM/COMP/MIX
+    classes.
+``workloads``
+    List the registered workload families (the values ``--suite``
+    takes: ``suite:spec29``, ``suite:spec29/scaled@N``,
+    ``random:n=...,seed=...``, ``service:n=...,seed=...``).
 ``models``
     List the registered predictor specs (the values ``--model`` takes).
 ``profile``
@@ -28,8 +33,9 @@ The CLI wraps the most common workflows behind one executable
     the parallel engine, with ``--jobs N`` workers, a persistent
     ``--cache-dir`` and any set of estimators (repeatable ``--model``).
 
-All commands accept ``--benchmarks``, ``--instructions``, ``--scale``
-and ``--seed`` to control the experiment setup, plus ``--jobs`` and
+All commands accept ``--suite`` (a workload spec from ``repro
+workloads``), ``--benchmarks``, ``--instructions``, ``--scale`` and
+``--seed`` to control the experiment setup, plus ``--jobs`` and
 ``--cache-dir`` to control the engine; the defaults match the
 benchmark suite in ``benchmarks/``.
 """
@@ -47,16 +53,31 @@ from repro.engine import ConsoleReporter, create_engine
 from repro.experiments import ExperimentConfig, ExperimentSetup
 from repro.experiments.reporting import format_table
 from repro.predictors import DEFAULT_PREDICTOR, canonical_spec, describe_predictors
-from repro.workloads import WorkloadMix, sample_mixes, small_suite, spec_cpu2006_like_suite
+from repro.workloads import (
+    DEFAULT_WORKLOAD,
+    WorkloadMix,
+    canonical_workload_spec,
+    describe_workloads,
+)
 from repro.workloads.classification import classify_suite
+
+
+def _workload_spec_from_args(args: argparse.Namespace) -> str:
+    """Resolve ``--suite`` / legacy ``--benchmarks`` into a workload spec.
+
+    The two flags are mutually exclusive at the argparse level, so at
+    most one is set here.
+    """
+    if args.suite is not None:
+        return args.suite
+    if args.benchmarks is None or args.benchmarks >= 29:
+        return DEFAULT_WORKLOAD
+    return f"suite:spec29/scaled@{args.benchmarks}"
 
 
 def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
     """Construct the experiment setup shared by all commands."""
-    if args.benchmarks is None or args.benchmarks >= 29:
-        suite = spec_cpu2006_like_suite()
-    else:
-        suite = small_suite(args.benchmarks)
+    workload = _workload_spec_from_args(args)
     config = ExperimentConfig(
         scale=args.scale,
         num_instructions=args.instructions,
@@ -65,7 +86,9 @@ def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
     )
     reporter = ConsoleReporter() if getattr(args, "progress", False) else None
     engine = create_engine(jobs=args.jobs, cache_dir=args.cache_dir, reporter=reporter)
-    return ExperimentSetup(config=config, suite=suite, engine=engine, cache_dir=args.cache_dir)
+    return ExperimentSetup(
+        config=config, workload=workload, engine=engine, cache_dir=args.cache_dir
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -79,6 +102,14 @@ def _predictor_spec(value: str) -> str:
     """argparse type for ``--model``: canonicalised registry spec."""
     try:
         return canonical_spec(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _workload_spec(value: str) -> str:
+    """argparse type for ``--suite``: canonicalised workload spec."""
+    try:
+        return canonical_workload_spec(value)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
@@ -110,11 +141,24 @@ def _selected_models(args: argparse.Namespace) -> List[str]:
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+    workload_group = parser.add_mutually_exclusive_group()
+    workload_group.add_argument(
+        "--suite",
+        type=_workload_spec,
+        default=None,
+        help=(
+            "workload spec to evaluate (see `repro workloads`; default: "
+            f"{DEFAULT_WORKLOAD})"
+        ),
+    )
+    workload_group.add_argument(
         "--benchmarks",
         type=int,
         default=None,
-        help="restrict the suite to its first N benchmarks (default: all 29)",
+        help=(
+            "legacy shorthand for --suite suite:spec29/scaled@N: a curated "
+            "N-benchmark spread of the default suite (default: all 29)"
+        ),
     )
     parser.add_argument(
         "--instructions",
@@ -180,6 +224,22 @@ def _command_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_workloads(args: argparse.Namespace) -> int:
+    """List the workload registry (no experiment setup required)."""
+    rows = [
+        {"spec": spec, "description": description}
+        for spec, description in describe_workloads()
+    ]
+    print(
+        format_table(
+            rows,
+            title="Registered workload families (pass a spec via --suite):",
+        )
+    )
+    print(f"\ndefault: {DEFAULT_WORKLOAD}")
+    return 0
+
+
 def _command_suite(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     classes = classify_suite(setup.suite)
     rows = [
@@ -193,7 +253,12 @@ def _command_suite(args: argparse.Namespace, setup: ExperimentSetup) -> int:
         }
         for spec in setup.suite
     ]
-    print(format_table(rows, title=f"Benchmark suite ({len(rows)} benchmarks):"))
+    print(
+        format_table(
+            rows,
+            title=f"Workload {setup.workload_spec} ({len(rows)} benchmarks):",
+        )
+    )
     return 0
 
 
@@ -287,7 +352,7 @@ def _command_compare(args: argparse.Namespace, setup: ExperimentSetup) -> int:
 
 
 def _command_rank(args: argparse.Namespace, setup: ExperimentSetup) -> int:
-    mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
+    mixes = setup.mixes(args.cores, args.mixes, seed=args.seed)
     machines = setup.design_space(num_cores=args.cores)
     models = _selected_models(args)
     # One engine sweep covering every requested model over the whole
@@ -334,7 +399,7 @@ def _command_rank(args: argparse.Namespace, setup: ExperimentSetup) -> int:
 
 def _command_stress(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     machine = setup.machine(num_cores=args.cores, llc_config=args.llc_config)
-    mixes = sample_mixes(setup.benchmark_names, args.cores, args.mixes, seed=args.seed)
+    mixes = setup.mixes(args.cores, args.mixes, seed=args.seed)
     scored = list(zip(setup.predict_many(mixes, machine, predictor=args.model), mixes))
     scored.sort(key=lambda pair: pair[0].system_throughput)
     rows = []
@@ -471,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
         "models", help="list the registered predictor specs"
     )
     models_parser.set_defaults(handler=_command_models)
+
+    workloads_parser = subparsers.add_parser(
+        "workloads", help="list the registered workload specs"
+    )
+    workloads_parser.set_defaults(handler=_command_workloads)
 
     profile_parser = subparsers.add_parser("profile", help="print single-core profiles")
     _add_common_arguments(profile_parser)

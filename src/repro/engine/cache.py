@@ -4,9 +4,12 @@ Extends the :class:`~repro.profiling.store.ProfileStore` pattern —
 in-memory dictionary backed by JSON files — to every expensive artefact
 of an experiment campaign: reference multi-core simulations, MPPM
 predictions and single-core profiles.  Entries are keyed by a content
-hash of everything the result depends on (machine configuration,
-benchmark/mix specification, model configuration, trace length, seed),
-so a repeated sweep is near-free across processes and sessions.
+hash of everything the result depends on (machine configuration, the
+workload spec string, benchmark/mix specification, model
+configuration, trace length, seed — see
+:func:`repro.engine.tasks._config_parts`), so a repeated sweep is
+near-free across processes and sessions and two workloads sharing a
+benchmark name can never collide in one cache directory.
 
 Results are serialised through a small type registry: any dataclass
 with ``to_dict``/``from_dict`` can be registered.  Unregistered types

@@ -4,8 +4,8 @@ A job that must run in a process-pool worker cannot close over an
 :class:`~repro.experiments.setup.ExperimentSetup` (the setup holds
 caches, a profiler and possibly a process pool of its own).  Instead,
 every task carries the setup's *recipe* — its token, its
-:class:`ExperimentConfig`, its suite and its cache directory — and
-resolves it through a per-process registry:
+:class:`ExperimentConfig`, its suite, its workload spec string and its
+cache directory — and resolves it through a per-process registry:
 
 * in the submitting process (serial backend, local jobs) the token maps
   to the live setup, so in-memory caches keep working exactly as for
@@ -19,8 +19,8 @@ resolves it through a per-process registry:
 
 The ``*_job`` constructors build :class:`~repro.engine.job.Job` objects
 with content-hash cache keys covering everything the result depends on:
-machine configuration, benchmark/mix specification, model configuration,
-trace length and seed.
+machine configuration, workload spec, benchmark/mix specification,
+model configuration, trace length and seed.
 """
 
 from __future__ import annotations
@@ -62,6 +62,7 @@ def _resolve_setup(
     token: str,
     config: "ExperimentConfig",
     suite: "BenchmarkSuite",
+    workload_spec: str,
     cache_dir: Optional[str],
 ) -> "ExperimentSetup":
     setup = _REGISTERED.get(token)
@@ -69,8 +70,16 @@ def _resolve_setup(
         setup = _RECONSTRUCTED.get(token)
     if setup is None:
         from repro.experiments.setup import ExperimentSetup
+        from repro.workloads import RegisteredWorkload
 
-        setup = ExperimentSetup(config=config, suite=suite, cache_dir=cache_dir)
+        # The shipped suite object is authoritative; the spec string
+        # keeps cache keys and profile files identical to the parent's.
+        workload = RegisteredWorkload(
+            workload_spec, f"workload {workload_spec}", lambda: suite
+        )
+        setup = ExperimentSetup(
+            config=config, suite=suite, workload=workload, cache_dir=cache_dir
+        )
         _RECONSTRUCTED[token] = setup
     return setup
 
@@ -84,11 +93,12 @@ def profile_task(
     token: str,
     config: "ExperimentConfig",
     suite: "BenchmarkSuite",
+    workload_spec: str,
     cache_dir: Optional[str],
     spec: "BenchmarkSpec",
     machine: "MachineConfig",
 ) -> "SingleCoreProfile":
-    setup = _resolve_setup(token, config, suite, cache_dir)
+    setup = _resolve_setup(token, config, suite, workload_spec, cache_dir)
     return setup.store.get_profile(spec, machine)
 
 
@@ -96,6 +106,7 @@ def profile_bundle_task(
     token: str,
     config: "ExperimentConfig",
     suite: "BenchmarkSuite",
+    workload_spec: str,
     cache_dir: Optional[str],
     spec: "BenchmarkSpec",
     machine: "MachineConfig",
@@ -108,7 +119,7 @@ def profile_bundle_task(
     store (:meth:`ProfileStore.absorb`), so the one-time profiling cost
     itself can fan out over pool workers.
     """
-    setup = _resolve_setup(token, config, suite, cache_dir)
+    setup = _resolve_setup(token, config, suite, workload_spec, cache_dir)
     return setup.store.get(spec, machine)
 
 
@@ -116,11 +127,12 @@ def simulate_task(
     token: str,
     config: "ExperimentConfig",
     suite: "BenchmarkSuite",
+    workload_spec: str,
     cache_dir: Optional[str],
     mix: "WorkloadMix",
     machine: "MachineConfig",
 ) -> "MultiCoreRunResult":
-    setup = _resolve_setup(token, config, suite, cache_dir)
+    setup = _resolve_setup(token, config, suite, workload_spec, cache_dir)
     return setup.simulate(mix, machine)
 
 
@@ -128,6 +140,7 @@ def predict_task(
     token: str,
     config: "ExperimentConfig",
     suite: "BenchmarkSuite",
+    workload_spec: str,
     cache_dir: Optional[str],
     predictor: str,
     mix: "WorkloadMix",
@@ -135,7 +148,7 @@ def predict_task(
     contention_model=None,
     mppm_config: Optional["MPPMConfig"] = None,
 ) -> "MixPrediction":
-    setup = _resolve_setup(token, config, suite, cache_dir)
+    setup = _resolve_setup(token, config, suite, workload_spec, cache_dir)
     if contention_model is not None:
         # Ablation override: the instance replaces the spec's model
         # (setup.predict rejects spec + instance together).
@@ -152,7 +165,7 @@ def predict_task(
 
 def _recipe(setup: "ExperimentSetup") -> Tuple:
     cache_dir = str(setup.cache_dir) if setup.cache_dir is not None else None
-    return (setup.token, setup.config, setup.suite, cache_dir)
+    return (setup.token, setup.config, setup.suite, setup.workload_spec, cache_dir)
 
 
 def _config_parts(setup: "ExperimentSetup") -> Tuple:
@@ -160,8 +173,16 @@ def _config_parts(setup: "ExperimentSetup") -> Tuple:
     # vectorized and reference kernels produce bit-identical results
     # (asserted by the equivalence suite), so artefacts computed under
     # either remain valid for both.
+    # The workload spec qualifies every result: two workloads that
+    # both contain a benchmark named "gamess" must never share a cache
+    # entry, even inside one campaign cache directory.
     config = setup.config
-    return (config.num_instructions, config.interval_instructions, config.seed)
+    return (
+        setup.workload_spec,
+        config.num_instructions,
+        config.interval_instructions,
+        config.seed,
+    )
 
 
 def profile_job(

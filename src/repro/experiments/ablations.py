@@ -25,7 +25,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.results import MixEvaluation
 from repro.experiments.setup import ExperimentSetup
 from repro.metrics import absolute_relative_error
-from repro.workloads import WorkloadMix, sample_mixes
+from repro.workloads import WorkloadMix
 
 
 @dataclass(frozen=True)
@@ -117,7 +117,7 @@ def contention_model_ablation(
 ) -> AblationResult:
     """Compare MPPM accuracy across cache-contention models."""
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, num_mixes, seed=seed)
     # Registry specs (mppm:foa, mppm:sdc, …) instead of model
     # instances: the predictions are bit-identical but memoised.
     rows = [
@@ -143,7 +143,7 @@ def smoothing_ablation(
 ) -> AblationResult:
     """Sweep the EMA smoothing factor of the slowdown update."""
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, num_mixes, seed=seed)
     rows = [
         _evaluate_variant(
             setup, mixes, machine, f"f={factor:.2f}", mppm_config=MPPMConfig(smoothing=factor)
@@ -173,7 +173,7 @@ def iteration_ablation(
     entirely, and applying the contention model once without iterating.
     """
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, num_mixes, seed=seed)
 
     variants = {
         "MPPM (iterative)": "mppm:foa",
@@ -203,7 +203,7 @@ def update_rule_ablation(
 ) -> AblationResult:
     """Compare the literal Figure 2 slowdown update with the self-consistent one."""
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, num_mixes, seed=seed)
     rows = [
         _evaluate_variant(
             setup, mixes, machine, variant, mppm_config=MPPMConfig(literal_figure2_update=literal)

@@ -21,7 +21,7 @@ import numpy as np
 from repro.experiments.reporting import format_table
 from repro.experiments.results import MixEvaluation
 from repro.experiments.setup import ExperimentSetup
-from repro.workloads import WorkloadMix, sample_mixes
+from repro.workloads import WorkloadMix
 
 
 @dataclass(frozen=True)
@@ -146,12 +146,10 @@ def accuracy_experiment(
         raise ValueError("at least one predictor spec is required")
     groups: List[Tuple[int, int, List[WorkloadMix]]] = []
     for num_cores in core_counts:
-        mixes = sample_mixes(
-            setup.benchmark_names, num_cores, mixes_per_core_count, seed=seed + num_cores
-        )
+        mixes = setup.mixes(num_cores, mixes_per_core_count, seed=seed + num_cores)
         groups.append((num_cores, llc_config, mixes))
     if include_16_core:
-        mixes = sample_mixes(setup.benchmark_names, 16, mixes_16_core, seed=seed + 16)
+        mixes = setup.mixes(16, mixes_16_core, seed=seed + 16)
         groups.append((16, llc_config_16_core, mixes))
 
     pairs = [

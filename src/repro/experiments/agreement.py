@@ -32,7 +32,7 @@ from repro.experiments.ranking import (
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.predictors import canonical_spec, lookup_spec
-from repro.workloads import BenchmarkClass, sample_category_mixes, sample_mixes
+from repro.workloads import BenchmarkClass, sample_category_mixes
 
 
 @dataclass(frozen=True)
@@ -193,10 +193,9 @@ def agreement_experiment(
         raise ValueError("at least one predictor spec is required")
     predictors = [canonical_spec(spec) for spec in predictors]
     machines = setup.design_space(num_cores=num_cores)
-    names = setup.benchmark_names
     classification = setup.classification()
 
-    model_mixes = sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1)
+    model_mixes = setup.mixes(num_cores, mppm_mixes, seed=seed + 1)
     model_scores = _evaluate_mix_sets(
         setup,
         [model_mixes] * len(predictors),
@@ -208,7 +207,7 @@ def agreement_experiment(
     # The reference sweep and every current-practice trial go through
     # the engine as one detailed-simulation job graph.
     per_category = max(1, mixes_per_trial // len(BenchmarkClass))
-    simulated_mix_sets = [sample_mixes(names, num_cores, reference_mixes, seed=seed)]
+    simulated_mix_sets = [setup.mixes(num_cores, reference_mixes, seed=seed)]
     labels = ["reference"]
     for trial in range(num_trials):
         simulated_mix_sets.append(

@@ -29,7 +29,6 @@ from repro.workloads import (
     BenchmarkClass,
     WorkloadMix,
     sample_category_mixes,
-    sample_mixes,
 )
 
 
@@ -243,9 +242,7 @@ def ranking_experiment(
         raise ValueError("at least one predictor spec is required")
     predictors = [canonical_spec(spec) for spec in predictors]
     machines = setup.design_space(num_cores=num_cores)
-    names = setup.benchmark_names
-
-    reference_mix_list = sample_mixes(names, num_cores, reference_mixes, seed=seed)
+    reference_mix_list = setup.mixes(num_cores, reference_mixes, seed=seed)
     reference = _scores_from_predictor(
         setup,
         reference_mix_list,
@@ -254,7 +251,7 @@ def ranking_experiment(
         predictor="detailed",
     )
 
-    model_mix_list = sample_mixes(names, num_cores, mppm_mixes, seed=seed + 1)
+    model_mix_list = setup.mixes(num_cores, mppm_mixes, seed=seed + 1)
     model_scores = _evaluate_mix_sets(
         setup,
         [model_mix_list] * len(predictors),
@@ -267,8 +264,8 @@ def ranking_experiment(
     trial_mix_sets: List[Sequence[WorkloadMix]] = []
     for trial in range(num_trials):
         if policy == "random":
-            trial_mixes = sample_mixes(
-                names, num_cores, mixes_per_trial, seed=seed + 100 + trial
+            trial_mixes = setup.mixes(
+                num_cores, mixes_per_trial, seed=seed + 100 + trial
             )
         else:
             per_category = max(1, mixes_per_trial // len(BenchmarkClass))

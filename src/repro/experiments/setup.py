@@ -49,8 +49,9 @@ from repro.workloads import (
     BenchmarkClass,
     BenchmarkSuite,
     WorkloadMix,
+    WorkloadSource,
     classify_suite,
-    spec_cpu2006_like_suite,
+    workload_for,
 )
 
 #: One (mix, machine) unit of a bulk evaluation.
@@ -105,9 +106,21 @@ class ExperimentSetup:
     ----------
     config:
         Scaling/length/seed parameters.
+    workload:
+        A workload spec string (see :mod:`repro.workloads.registry` —
+        ``"suite:spec29"``, ``"suite:spec29/scaled@8"``,
+        ``"random:n=8,seed=0"``, ``"service:n=8,seed=0"``) or a
+        :class:`~repro.workloads.WorkloadSource` instance.  Defaults
+        to ``suite:spec29``, today's 29-benchmark suite.  The resolved
+        spec string (``workload_spec``) qualifies the profile store's
+        disk keys and every engine content-hash cache key.
     suite:
-        The benchmark suite; defaults to the full 29-benchmark
-        SPEC CPU2006-like suite.
+        An explicit benchmark suite object (legacy/ad-hoc path).  When
+        given without ``workload`` it is wrapped under a canonical
+        spec if the registry recognises it, else under a deterministic
+        content-digest ``inline:`` spec; when given *with*
+        ``workload`` it is trusted as that workload's suite (the
+        engine's worker-reconstruction path).
     engine:
         The :class:`~repro.engine.Executor` bulk evaluations run on.
         Defaults to an engine built from ``jobs`` and ``cache_dir``.
@@ -129,9 +142,12 @@ class ExperimentSetup:
         engine: Optional[Executor] = None,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        workload: Optional[Union[str, WorkloadSource]] = None,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig()
-        self.suite = suite if suite is not None else spec_cpu2006_like_suite()
+        self.workload = workload_for(workload, suite=suite)
+        self.suite = suite if suite is not None else self.workload.suite()
+        self.workload_spec = self.workload.spec
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.store = ProfileStore(
             num_instructions=self.config.num_instructions,
@@ -139,6 +155,7 @@ class ExperimentSetup:
             seed=self.config.seed,
             cache_dir=self.cache_dir / "profiles" if self.cache_dir is not None else None,
             kernel=self.config.kernel,
+            workload_spec=self.workload_spec,
         )
         self.engine = engine if engine is not None else create_engine(jobs, self.cache_dir)
         self.token = engine_tasks.register_setup(self)
@@ -167,6 +184,18 @@ class ExperimentSetup:
     @property
     def benchmark_names(self) -> List[str]:
         return self.suite.names
+
+    def mixes(
+        self, num_programs: int, num_mixes: int, seed: int = 0, unique: bool = True
+    ) -> List[WorkloadMix]:
+        """Sample multi-program mixes through the setup's workload source.
+
+        Identical to ``sample_mixes(self.benchmark_names, ...)`` — the
+        registry's sources draw from the same sorted name list — but
+        routed through the Workload API so experiments stay agnostic of
+        where the suite came from.
+        """
+        return self.workload.mixes(num_programs, num_mixes, seed=seed, unique=unique)
 
     def classification(self) -> Dict[str, BenchmarkClass]:
         """MEM / COMP / MIX classes used for category-based mix selection."""

@@ -22,7 +22,7 @@ from typing import List, Mapping, Sequence
 
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
-from repro.workloads import WorkloadMix, sample_mixes
+from repro.workloads import WorkloadMix
 
 
 @dataclass(frozen=True)
@@ -105,7 +105,7 @@ def speed_experiment(
     is the campaign size used for the including-profiling speedup.
     """
     machine = setup.machine(num_cores=num_cores, llc_config=1)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, num_mixes, seed=seed)
 
     # One-time cost: single-core profiling.  The setup may already have
     # cached profiles, so the cost is measured on a fresh profiler for a

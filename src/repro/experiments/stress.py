@@ -30,7 +30,7 @@ from repro.experiments.reporting import format_series, format_table
 from repro.experiments.results import MixEvaluation
 from repro.experiments.setup import ExperimentSetup
 from repro.predictors import lookup_spec
-from repro.workloads import WorkloadMix, sample_mixes
+from repro.workloads import WorkloadMix
 
 
 @dataclass(frozen=True)
@@ -141,7 +141,7 @@ def stress_experiment(
     if not predictors:
         raise ValueError("at least one predictor spec is required")
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, num_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, num_mixes, seed=seed)
     pairs = [(mix, machine) for mix in mixes]
     evaluated = setup.evaluate_predictors(pairs, predictors)
     primary = next(iter(evaluated))

@@ -21,7 +21,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.metrics import confidence_interval
 from repro.predictors import PredictorError, available_predictors, canonical_spec
-from repro.workloads import WorkloadMix, sample_mixes
+from repro.workloads import WorkloadMix
 
 
 @dataclass(frozen=True)
@@ -111,7 +111,7 @@ def variability_experiment(
             + ", ".join(available_predictors())
         ) from None
     machine = setup.machine(num_cores=num_cores, llc_config=llc_config)
-    mixes = sample_mixes(setup.benchmark_names, num_cores, max_mixes, seed=seed)
+    mixes = setup.mixes(num_cores, max_mixes, seed=seed)
 
     results = setup.predict_many(mixes, machine, predictor=spec)
     stp_values: List[float] = [result.system_throughput for result in results]

@@ -18,7 +18,7 @@ from typing import List, Mapping, Sequence
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.simulators import MultiCoreSimulator
-from repro.workloads import count_mixes, sample_mixes
+from repro.workloads import count_mixes
 
 
 def _humanize_seconds(seconds: float) -> str:
@@ -36,6 +36,7 @@ class WorkloadSpaceReport:
 
     num_benchmarks: int
     rows: List[Mapping[str, object]]
+    workload: str = "suite:spec29"
 
     def to_rows(self) -> List[Mapping[str, object]]:
         return list(self.rows)
@@ -46,8 +47,8 @@ class WorkloadSpaceReport:
             self.rows,
             columns=columns,
             title=(
-                f"Multi-program workload space for {self.num_benchmarks} benchmarks "
-                "(combinations with repetition):"
+                f"Multi-program workload space for {self.workload} "
+                f"({self.num_benchmarks} benchmarks, combinations with repetition):"
             ),
             float_format="{:.0f}",
         )
@@ -85,7 +86,7 @@ def workload_space_report(
         }
         if measure_costs:
             machine = setup.machine(num_cores=cores, llc_config=llc_config)
-            mix = sample_mixes(setup.benchmark_names, cores, 1, seed=seed + cores)[0]
+            mix = setup.mixes(cores, 1, seed=seed + cores)[0]
             # Warm the single-core profiles untimed: they are the
             # paper's one-time cost, not part of the per-mix cost.
             profiles = {
@@ -104,4 +105,6 @@ def workload_space_report(
             row["exhaustive_simulation"] = _humanize_seconds(simulate_seconds * count)
             row["exhaustive_mppm"] = _humanize_seconds(predict_seconds * count)
         rows.append(row)
-    return WorkloadSpaceReport(num_benchmarks=num_benchmarks, rows=rows)
+    return WorkloadSpaceReport(
+        num_benchmarks=num_benchmarks, rows=rows, workload=setup.workload_spec
+    )

@@ -12,6 +12,8 @@ Spec                     Estimator
 ``mppm:foa``             iterative MPPM, FOA contention model (the default)
 ``mppm:sdc``             iterative MPPM, stack-distance-competition model
 ``mppm:prob``            iterative MPPM, inductive-probability model
+``mppm:windowed``        MPPM (FOA) with windowed per-interval CPI progress
+``mppm:figure2``         MPPM (FOA) with the literal Figure 2 update rule
 ``baseline:no-contention`` cache sharing assumed free (single-core CPIs)
 ``baseline:one-shot``    one contention pass, no iterative entanglement
 ``detailed``             the detailed shared-LLC reference simulation
@@ -61,6 +63,20 @@ __all__ = [
 #: The spec every experiment and CLI command defaults to (the paper's model).
 DEFAULT_PREDICTOR = "mppm:foa"
 
+#: MPPM model variants exposed as their own specs (ablation entries):
+#: variant name -> (MPPMConfig, one-line description).  Both run over
+#: the default FOA contention model.
+_MPPM_VARIANTS: Mapping[str, Tuple[MPPMConfig, str]] = {
+    "windowed": (
+        MPPMConfig(use_windowed_cpi=True),
+        "iterative MPPM (FOA) using windowed per-interval CPI for progress",
+    ),
+    "figure2": (
+        MPPMConfig(literal_figure2_update=True),
+        "iterative MPPM (FOA) with the paper's literal Figure 2 slowdown update",
+    ),
+}
+
 
 def _spec_table() -> Mapping[str, str]:
     """spec -> one-line description, in canonical listing order."""
@@ -68,6 +84,8 @@ def _spec_table() -> Mapping[str, str]:
         f"mppm:{name}": f"iterative MPPM with the {name.upper()} cache-contention model"
         for name in available_contention_models()
     }
+    for variant, (_, description) in _MPPM_VARIANTS.items():
+        table[f"mppm:{variant}"] = description
     for variant, (_, description) in _BASELINE_VARIANTS.items():
         table[f"baseline:{variant}"] = description
     table["detailed"] = "detailed shared-LLC multi-core simulation (the reference)"
@@ -105,10 +123,22 @@ def make_predictor(
     """Construct a predictor by spec, bound to an experiment setup.
 
     ``mppm_config`` tunes the iterative model and is only meaningful
-    for ``mppm:*`` specs; passing it with any other spec is an error.
+    for ``mppm:<contention>`` specs; passing it with any other spec —
+    including the ``mppm:windowed`` / ``mppm:figure2`` variants, whose
+    configuration *is* their identity — is an error.
     """
     canonical = canonical_spec(spec)
     family, _, variant = canonical.partition(":")
+    if family == "mppm" and variant in _MPPM_VARIANTS:
+        if mppm_config is not None:
+            raise PredictorError(
+                f"{canonical!r} carries its own MPPMConfig; pass a plain "
+                "mppm:<contention> spec to tune the model explicitly"
+            )
+        variant_config, _ = _MPPM_VARIANTS[variant]
+        return MPPMPredictor(
+            setup, contention="foa", mppm_config=variant_config, spec=canonical
+        )
     if family != "mppm" and mppm_config is not None:
         raise PredictorError(
             f"mppm_config only applies to mppm:* predictors, not {canonical!r}"

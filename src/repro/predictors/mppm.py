@@ -1,11 +1,15 @@
-"""MPPM as a registry predictor (``mppm:<contention-model>``).
+"""MPPM as a registry predictor (``mppm:<contention-model>`` and variants).
 
 One registry entry per cache-contention model: ``mppm:foa`` (the
 paper's choice and the package default), ``mppm:sdc`` and
-``mppm:prob``.  The predictor draws single-core profiles through the
-setup's :class:`~repro.profiling.store.ProfileStore` — exactly the code
-path the pre-registry ``ExperimentSetup.predict`` used, so predictions
-are bit-identical to it by construction.
+``mppm:prob`` — plus one per model *variant* used by the ablations:
+``mppm:windowed`` (windowed per-interval CPI progress) and
+``mppm:figure2`` (the paper's literal Figure 2 slowdown update), both
+over the FOA contention model.  The predictor draws single-core
+profiles through the setup's
+:class:`~repro.profiling.store.ProfileStore` — exactly the code path
+the pre-registry ``ExperimentSetup.predict`` used, so predictions are
+bit-identical to it by construction.
 """
 
 from __future__ import annotations
@@ -31,11 +35,15 @@ class MPPMPredictor:
         setup: "ExperimentSetup",
         contention: str = "foa",
         mppm_config: Optional[MPPMConfig] = None,
+        spec: Optional[str] = None,
     ) -> None:
         self.setup = setup
         self.contention = contention
         self.mppm_config = mppm_config
-        self.spec = f"mppm:{contention}"
+        # Variant entries (mppm:windowed, mppm:figure2) override the
+        # spec: they are named after their MPPMConfig, not the
+        # contention model they run on.
+        self.spec = spec if spec is not None else f"mppm:{contention}"
 
     def predict(self, mix: "WorkloadMix", machine: "MachineConfig") -> MixPrediction:
         """Run the iterative model on the mix's single-core profiles."""

@@ -41,6 +41,19 @@ class ProfileStore:
         profiles, so cached artefacts are shared between them.
     cache_dir:
         Optional directory for JSON persistence of profiles.
+    workload_spec:
+        Optional workload spec string (see
+        :mod:`repro.workloads.registry`) qualifying the on-disk cache
+        keys, so two workloads that both contain a benchmark of the
+        same name can never collide in one ``cache_dir``.  Every save
+        also writes the *unqualified* (content-addressed) key — whose
+        digest covers the full benchmark spec, so it is collision-free
+        too — which lets workloads that share bit-identical benchmark
+        specs (``suite:spec29`` vs ``suite:spec29/scaled@8``, a
+        ``random:*`` family scaled up) share profiles: a qualified
+        miss falls back to that shared layer (which also covers
+        payloads written by older, unqualified stores) and adopts the
+        profile under the qualified key.
     """
 
     def __init__(
@@ -50,11 +63,13 @@ class ProfileStore:
         seed: int = 0,
         cache_dir: Optional[Path] = None,
         kernel: str = "vectorized",
+        workload_spec: Optional[str] = None,
     ) -> None:
         self.num_instructions = num_instructions
         self.interval_instructions = interval_instructions
         self.seed = seed
         self.kernel = kernel
+        self.workload_spec = workload_spec
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -190,7 +205,9 @@ class ProfileStore:
         self._save_to_disk(spec, profiled.profile)
         return profiled
 
-    def _disk_path(self, spec: BenchmarkSpec, machine_key: str) -> Optional[Path]:
+    def _disk_path(
+        self, spec: BenchmarkSpec, machine_key: str, qualified: bool = True
+    ) -> Optional[Path]:
         if self.cache_dir is None:
             return None
         digest = 0
@@ -198,6 +215,8 @@ class ProfileStore:
             f"{machine_key}|{self.num_instructions}|{self.interval_instructions}|"
             f"{self.seed}|{spec!r}"
         )
+        if qualified and self.workload_spec is not None:
+            description = f"{self.workload_spec}|{description}"
         for char in description:
             digest = (digest * 131 + ord(char)) & 0xFFFFFFFF
         return self.cache_dir / f"{spec.name}-{digest:08x}.json"
@@ -209,6 +228,14 @@ class ProfileStore:
         if path is None:
             return None
         data = read_json_tolerant(path)
+        if data is None and self.workload_spec is not None:
+            # Shared content-addressed layer (also covers payloads
+            # written by pre-workload-spec stores): load and adopt the
+            # profile under the qualified key.
+            shared = self._disk_path(spec, machine.profile_key(), qualified=False)
+            data = read_json_tolerant(shared)
+            if data is not None:
+                atomic_write_json(path, data)
         if data is None:
             return None
         return SingleCoreProfile.from_dict(data)
@@ -217,4 +244,10 @@ class ProfileStore:
         path = self._disk_path(spec, profile.machine_key)
         if path is None:
             return
-        atomic_write_json(path, profile.to_dict())
+        payload = profile.to_dict()
+        atomic_write_json(path, payload)
+        if self.workload_spec is not None:
+            # The shared layer other workloads with bit-identical
+            # benchmark specs (and legacy stores) read from.
+            shared = self._disk_path(spec, profile.machine_key, qualified=False)
+            atomic_write_json(shared, payload)

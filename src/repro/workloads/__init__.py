@@ -9,9 +9,21 @@ that parameterises an LRU-stack-model address-stream generator
 memory-reference rate, base CPI, memory-level parallelism and
 per-phase parameter drift).
 
+Workloads are first-class registry objects: :func:`make_workload`
+resolves a spec string (``"suite:spec29"``, ``"suite:spec29/scaled@8"``,
+``"random:n=8,seed=0"``, ``"service:n=8,seed=0"``) into a
+:class:`WorkloadSource` that supplies the suite and samples mixes —
+the workload-side mirror of :func:`repro.predictors.make_predictor`.
+
 The package also contains everything the paper needs around the suite:
 
-* :mod:`repro.workloads.generator` — deterministic trace generation,
+* :mod:`repro.workloads.registry` — the Workload API (spec strings,
+  :class:`WorkloadSource`, :func:`make_workload`),
+* :mod:`repro.workloads.families` — parametric synthetic families
+  (``random:*`` over the ReuseProfile space, microservice-like
+  ``service:*``),
+* :mod:`repro.workloads.generator` — deterministic trace generation
+  (vectorized, with a bit-identical ``"reference"`` kernel),
 * :mod:`repro.workloads.trace` — the in-memory trace representation,
 * :mod:`repro.workloads.classification` — MEM / COMP / MIX benchmark
   classes used by the "current practice" category sampling,
@@ -26,7 +38,24 @@ from repro.workloads.suite import (
     small_suite,
 )
 from repro.workloads.trace import MemoryTrace
-from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.generator import GENERATOR_KERNELS, TraceGenerator, generate_trace
+from repro.workloads.families import (
+    random_benchmark,
+    random_suite,
+    service_benchmark,
+    service_suite,
+)
+from repro.workloads.registry import (
+    DEFAULT_WORKLOAD,
+    RegisteredWorkload,
+    WorkloadSource,
+    WorkloadSpecError,
+    available_workloads,
+    canonical_workload_spec,
+    describe_workloads,
+    make_workload,
+    workload_for,
+)
 from repro.workloads.classification import (
     BenchmarkClass,
     classify_benchmark,
@@ -48,8 +77,22 @@ __all__ = [
     "spec_cpu2006_like_suite",
     "small_suite",
     "MemoryTrace",
+    "GENERATOR_KERNELS",
     "TraceGenerator",
     "generate_trace",
+    "random_benchmark",
+    "random_suite",
+    "service_benchmark",
+    "service_suite",
+    "DEFAULT_WORKLOAD",
+    "RegisteredWorkload",
+    "WorkloadSource",
+    "WorkloadSpecError",
+    "available_workloads",
+    "canonical_workload_spec",
+    "describe_workloads",
+    "make_workload",
+    "workload_for",
     "BenchmarkClass",
     "classify_benchmark",
     "classify_suite",

@@ -16,17 +16,39 @@ memory-intensive programs — including time-varying phases.
 
 Everything is driven by :class:`numpy.random.Generator` seeded from the
 benchmark's ``seed``, so traces are bit-for-bit reproducible.
+
+Two generation kernels are available through the same API, mirroring
+the single-core replay kernels of :mod:`repro.simulators.single_core`:
+
+* ``"vectorized"`` (default) — reuse depths, access positions and
+  base-cycle gaps are drawn and resolved as whole numpy arrays; the
+  only irreducibly sequential step, resolving LRU-stack depths to line
+  addresses (the inverse of the stack-distance transform, i.e. a
+  move-to-front decode), runs as a tight bottom-anchored list kernel
+  whose per-access cost is O(reuse depth) instead of the reference
+  loop's O(footprint) front-insertion memmove plus per-access numpy
+  scalar arithmetic.
+* ``"reference"`` — the original per-access loop, kept as ground
+  truth.
+
+The two kernels are **bit-identical** (asserted by the equivalence
+suite and guarded by ``benchmarks/bench_trace_generation.py``), so the
+choice never changes a trace, a profile or any downstream result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.workloads.benchmark import BenchmarkSpec, WorkloadError
 from repro.workloads.trace import MemoryTrace
 
+
+#: Generation kernels selectable through ``TraceGenerator(kernel=...)``.
+GENERATOR_KERNELS = ("vectorized", "reference")
 
 #: Large odd multiplier used to give every benchmark a disjoint,
 #: set-index-scrambled address space in the shared cache.
@@ -81,18 +103,57 @@ class TraceGenerator:
         Global seed combined with each benchmark's own seed, so that a
         whole suite can be re-generated under a different seed for
         sensitivity studies.
+    kernel:
+        Generation kernel: ``"vectorized"`` (default) or
+        ``"reference"``.  Both produce bit-identical traces; the
+        reference loop is kept as ground truth.
     """
 
-    def __init__(self, num_instructions: int = 200_000, seed: int = 0) -> None:
+    def __init__(
+        self, num_instructions: int = 200_000, seed: int = 0, kernel: str = "vectorized"
+    ) -> None:
         if num_instructions <= 0:
             raise WorkloadError("num_instructions must be positive")
+        if kernel not in GENERATOR_KERNELS:
+            raise WorkloadError(
+                f"kernel must be one of {GENERATOR_KERNELS}, got {kernel!r}"
+            )
         self.num_instructions = num_instructions
         self.seed = seed
+        self.kernel = kernel
 
-    def generate(self, spec: BenchmarkSpec) -> MemoryTrace:
-        """Generate the trace for one benchmark."""
+    def generate(self, spec: BenchmarkSpec, kernel: Optional[str] = None) -> MemoryTrace:
+        """Generate the trace for one benchmark.
+
+        ``kernel`` overrides the generator's default for this one call
+        (used by the equivalence tests and the benchmark guard).
+        """
+        kernel = self.kernel if kernel is None else kernel
+        if kernel not in GENERATOR_KERNELS:
+            raise WorkloadError(
+                f"kernel must be one of {GENERATOR_KERNELS}, got {kernel!r}"
+            )
         rng = np.random.default_rng((self.seed, spec.seed, _name_digest(spec.name)))
         plans = self._plan_phases(spec)
+        # Draw every phase's access positions and reuse depths up front,
+        # in phase order — both kernels consume the exact same random
+        # stream, so the drawn arrays (and thus the traces) are shared.
+        phase_data: List[Tuple[_PhasePlan, np.ndarray, np.ndarray]] = [
+            (plan, self._access_positions(plan), self._draw_depths(plan, rng))
+            for plan in plans
+            if plan.num_accesses > 0
+        ]
+        if not phase_data:
+            raise WorkloadError(f"{spec.name}: generated trace contains no memory accesses")
+        if kernel == "reference":
+            return self._assemble_reference(spec, phase_data)
+        return self._assemble_vectorized(spec, phase_data)
+
+    # ------------------------------------------------------------------
+    # Reference kernel: the original per-access loop (ground truth)
+    # ------------------------------------------------------------------
+
+    def _assemble_reference(self, spec: BenchmarkSpec, phase_data) -> MemoryTrace:
         address_base = _benchmark_address_base(spec.name)
 
         access_insn_parts = []
@@ -106,11 +167,7 @@ class TraceGenerator:
         last_insn = -1
         last_phase_cpi = spec.base_cpi
 
-        for plan in plans:
-            if plan.num_accesses == 0:
-                continue
-            insn_idx = self._access_positions(plan)
-            depths = self._draw_depths(plan, rng)
+        for plan, insn_idx, depths in phase_data:
             lines = np.empty(plan.num_accesses, dtype=np.int64)
 
             for i, depth in enumerate(depths):
@@ -145,9 +202,6 @@ class TraceGenerator:
             access_line_parts.append(lines + address_base)
             gap_parts.append(gaps)
 
-        if not access_insn_parts:
-            raise WorkloadError(f"{spec.name}: generated trace contains no memory accesses")
-
         access_insn = np.concatenate(access_insn_parts)
         access_line = np.concatenate(access_line_parts)
         base_cycle_gap = np.concatenate(gap_parts)
@@ -158,6 +212,42 @@ class TraceGenerator:
             num_instructions=self.num_instructions,
             access_insn=access_insn,
             access_line=access_line,
+            base_cycle_gap=base_cycle_gap,
+            tail_base_cycles=float(max(tail, 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized kernel
+    # ------------------------------------------------------------------
+
+    def _assemble_vectorized(self, spec: BenchmarkSpec, phase_data) -> MemoryTrace:
+        address_base = _benchmark_address_base(spec.name)
+
+        gap_parts = []
+        last_insn = -1
+        for plan, insn_idx, _ in phase_data:
+            # Gaps are a pure array expression: (insn - previous insn)
+            # times the phase CPI, with the previous phase's final
+            # access (or -1) in front.  int64 differences converted to
+            # float64 and multiplied once match the reference's scalar
+            # arithmetic bit-for-bit.
+            gaps = np.diff(insn_idx, prepend=last_insn) * plan.base_cpi
+            gap_parts.append(gaps)
+            last_insn = int(insn_idx[-1])
+        last_phase_cpi = phase_data[-1][0].base_cpi
+
+        depths_all = np.concatenate([depths for _, _, depths in phase_data])
+        lines = _resolve_depths_to_lines(depths_all, spec.working_set_lines)
+
+        access_insn = np.concatenate([insn_idx for _, insn_idx, _ in phase_data])
+        base_cycle_gap = np.concatenate(gap_parts)
+        tail = (self.num_instructions - 1 - last_insn) * last_phase_cpi
+
+        return MemoryTrace(
+            spec=spec,
+            num_instructions=self.num_instructions,
+            access_insn=access_insn,
+            access_line=lines + address_base,
             base_cycle_gap=base_cycle_gap,
             tail_base_cycles=float(max(tail, 0.0)),
         )
@@ -235,8 +325,62 @@ class TraceGenerator:
         return depths
 
 
+def _resolve_depths_to_lines(depths: np.ndarray, working_set_lines: int) -> np.ndarray:
+    """Resolve LRU-stack reuse depths to line ids (move-to-front decode).
+
+    This is the inverse of the stack-distance transform and — unlike
+    the draws, positions and gaps around it — has an irreducible
+    sequential core: the line selected at depth ``d`` depends on every
+    preceding move-to-front.  The kernel keeps that core as small as
+    possible:
+
+    * the stack is stored bottom-first, so pushing the new MRU is an
+      O(1) ``append`` and reusing depth ``d`` removes ``stack[-d]`` —
+      an O(d) tail memmove.  The reference loop instead pays an
+      O(footprint) front-insertion memmove on *every* access, which is
+      quadratic for streaming working sets;
+    * a reuse at depth 1 touches the line that is already on top, so it
+      reads ``stack[-1]`` and mutates nothing;
+    * depths arrive as one whole-trace int64 array (phase structure
+      already folded in) and are converted to plain ints in a single C
+      pass, eliminating the per-access numpy scalar arithmetic that
+      dominates the reference loop on small working sets.
+
+    Semantics are exactly the reference loop's: a negative depth or a
+    depth beyond the current footprint is a brand-new line until the
+    working set is exhausted, after which it recycles the LRU line.
+    """
+    out: list = []
+    push = out.append
+    stack: list = []  # bottom-first: stack[-1] is the MRU line
+    append = stack.append
+    born = 0  # lines created so far == current stack size
+    for d in depths.tolist():
+        if 1 <= d <= born:
+            if d == 1:
+                push(stack[-1])
+                continue
+            line = stack[-d]
+            del stack[-d]
+        elif born < working_set_lines:
+            line = born
+            born += 1
+        else:
+            # Working set exhausted: cycle over the LRU end.
+            line = stack[0]
+            del stack[0]
+        append(line)
+        push(line)
+    return np.array(out, dtype=np.int64)
+
+
 def generate_trace(
-    spec: BenchmarkSpec, num_instructions: int = 200_000, seed: int = 0
+    spec: BenchmarkSpec,
+    num_instructions: int = 200_000,
+    seed: int = 0,
+    kernel: str = "vectorized",
 ) -> MemoryTrace:
     """Convenience wrapper: generate one benchmark's trace."""
-    return TraceGenerator(num_instructions=num_instructions, seed=seed).generate(spec)
+    return TraceGenerator(
+        num_instructions=num_instructions, seed=seed, kernel=kernel
+    ).generate(spec)

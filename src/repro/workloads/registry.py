@@ -1,0 +1,314 @@
+"""Unified Workload API: one spec-string registry for benchmark suites.
+
+PR 4 gave every performance estimator one registry
+(:mod:`repro.predictors`); this module gives the *workload* side of an
+experiment the same treatment.  A workload — the benchmark suite plus
+the way multi-program mixes are drawn from it — is identified by a
+spec string and constructed by :func:`make_workload`:
+
+========================== ================================================
+Spec                       Workload
+========================== ================================================
+``suite:spec29``           the full 29-benchmark SPEC CPU2006-like suite
+                           (the default; today's behaviour)
+``suite:spec29/scaled@N``  a curated ``N``-benchmark subset spanning the
+                           suite's behaviours (``small_suite(N)``, the
+                           CLI's historical ``--benchmarks N``)
+``random:n=8,seed=0``      ``n`` parametric synthetic benchmarks drawn
+                           from the :class:`ReuseProfile` space
+``service:n=8,seed=0``     ``n`` bursty, strongly-phased
+                           microservice-like benchmarks
+========================== ================================================
+
+Every constructed workload implements the :class:`WorkloadSource`
+protocol — ``spec`` (the canonical string), ``suite()``, ``mixes(...)``
+and ``describe()`` — and every experiment, the engine's content-hash
+cache keys, the :class:`~repro.profiling.store.ProfileStore` and the
+CLI (``--suite``, ``repro workloads``) identify workloads by these
+spec strings instead of implicitly assuming the one suite.  A suite
+object passed directly (tests, notebooks) is wrapped by
+:func:`workload_for` under a content-digest ``inline:`` spec, so even
+ad-hoc workloads cache consistently across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
+
+from repro.workloads.benchmark import WorkloadError
+from repro.workloads.families import random_suite, service_suite
+from repro.workloads.mixes import WorkloadMix, sample_mixes
+from repro.workloads.suite import BenchmarkSuite, small_suite, spec_cpu2006_like_suite
+
+#: The spec every experiment and CLI command defaults to.
+DEFAULT_WORKLOAD = "suite:spec29"
+
+#: Upper bound on parametric family sizes (keeps typos from asking for
+#: a million benchmarks; far above any realistic study).
+_MAX_FAMILY_SIZE = 128
+
+
+class WorkloadSpecError(WorkloadError):
+    """Raised for unknown or malformed workload specs."""
+
+
+@runtime_checkable
+class WorkloadSource(Protocol):
+    """Anything that supplies a benchmark suite and samples mixes from it."""
+
+    #: Canonical spec string (registry name), e.g. ``"suite:spec29"``.
+    spec: str
+
+    def suite(self) -> BenchmarkSuite:
+        """The benchmark suite this workload evaluates."""
+        ...  # pragma: no cover - protocol
+
+    def mixes(
+        self, num_programs: int, num_mixes: int, seed: int = 0, unique: bool = True
+    ) -> List[WorkloadMix]:
+        """Sample multi-program mixes over the suite's benchmarks."""
+        ...  # pragma: no cover - protocol
+
+    def describe(self) -> str:
+        """One-line human-readable description of the workload."""
+        ...  # pragma: no cover - protocol
+
+
+class RegisteredWorkload:
+    """Concrete :class:`WorkloadSource`: canonical spec + lazy suite builder."""
+
+    def __init__(self, spec: str, description: str, builder: Callable[[], BenchmarkSuite]) -> None:
+        self.spec = spec
+        self._description = description
+        self._builder = builder
+        self._suite: Optional[BenchmarkSuite] = None
+
+    def suite(self) -> BenchmarkSuite:
+        if self._suite is None:
+            self._suite = self._builder()
+        return self._suite
+
+    def mixes(
+        self, num_programs: int, num_mixes: int, seed: int = 0, unique: bool = True
+    ) -> List[WorkloadMix]:
+        return sample_mixes(
+            self.suite().names, num_programs, num_mixes, seed=seed, unique=unique
+        )
+
+    def describe(self) -> str:
+        return self._description
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisteredWorkload({self.spec!r})"
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+
+def _unknown(spec: str) -> WorkloadSpecError:
+    return WorkloadSpecError(
+        f"unknown workload spec {spec!r}; available workloads: "
+        + ", ".join(available_workloads())
+    )
+
+
+def _parse_params(spec: str, rest: str, defaults: Dict[str, int]) -> Dict[str, int]:
+    """Parse ``key=value`` parameter lists against a family's defaults."""
+    params = dict(defaults)
+    if not rest:
+        return params
+    for part in rest.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in defaults:
+            raise _unknown(spec)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise _unknown(spec) from None
+    return params
+
+
+def _parse_family(spec: str, family: str, rest: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
+    """(canonical spec, suite builder, description) for one parametric family."""
+    params = _parse_params(spec, rest, {"n": 8, "seed": 0})
+    n, seed = params["n"], params["seed"]
+    if not 0 < n <= _MAX_FAMILY_SIZE:
+        raise WorkloadSpecError(
+            f"{spec!r}: n must be in [1, {_MAX_FAMILY_SIZE}], got {n}"
+        )
+    if seed < 0:
+        raise WorkloadSpecError(f"{spec!r}: seed must be non-negative, got {seed}")
+    canonical = f"{family}:n={n},seed={seed}"
+    if family == "random":
+        return (
+            canonical,
+            lambda: random_suite(n, seed=seed),
+            f"{n} parametric synthetic benchmarks drawn from the ReuseProfile space (seed {seed})",
+        )
+    return (
+        canonical,
+        lambda: service_suite(n, seed=seed),
+        f"{n} bursty, strongly-phased microservice-like benchmarks (seed {seed})",
+    )
+
+
+def _parse(spec: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
+    """(canonical spec, suite builder, description) or raise."""
+    normalised = spec.strip().lower()
+    if normalised in ("suite", DEFAULT_WORKLOAD):
+        return (
+            DEFAULT_WORKLOAD,
+            spec_cpu2006_like_suite,
+            "the full 29-benchmark SPEC CPU2006-like suite",
+        )
+    family, sep, rest = normalised.partition(":")
+    if not sep:
+        family, rest = normalised, ""
+    if family == "suite":
+        base, slash, modifier = rest.partition("/")
+        if base != "spec29" or not slash or not modifier.startswith("scaled@"):
+            raise _unknown(spec)
+        try:
+            count = int(modifier[len("scaled@"):])
+        except ValueError:
+            raise _unknown(spec) from None
+        if count <= 0:
+            raise WorkloadSpecError(f"{spec!r}: the scaled@N count must be positive")
+        if count >= 29:
+            # Scaling to the full size (or beyond) IS the full suite.
+            return _parse(DEFAULT_WORKLOAD)
+        return (
+            f"suite:spec29/scaled@{count}",
+            lambda: small_suite(count),
+            f"a curated {count}-benchmark spread of the SPEC CPU2006-like suite's behaviours",
+        )
+    if family in ("random", "service"):
+        return _parse_family(spec, family, rest)
+    raise _unknown(spec)
+
+
+# ---------------------------------------------------------------------------
+# Public API (mirrors repro.predictors)
+# ---------------------------------------------------------------------------
+
+
+def canonical_workload_spec(spec: str) -> str:
+    """Normalise and validate a workload spec string.
+
+    ``"suite"`` is shorthand for ``"suite:spec29"``; parametric
+    families fill in defaulted parameters (``"random"`` →
+    ``"random:n=8,seed=0"``).  Raises :class:`WorkloadSpecError` (a
+    ``ValueError``) listing the available specs for anything the
+    registry does not know.
+    """
+    canonical, _, _ = _parse(spec)
+    return canonical
+
+
+def make_workload(spec: str = DEFAULT_WORKLOAD) -> WorkloadSource:
+    """Construct a workload source by spec string."""
+    canonical, builder, description = _parse(spec)
+    return RegisteredWorkload(canonical, description, builder)
+
+
+#: One row per registered family — (constructible exemplar spec,
+#: grammar pattern, description).  The single source for listings and
+#: unknown-spec errors; :func:`_parse` is the single parser.  Adding a
+#: family means one row here plus one branch in :func:`_parse`.
+_FAMILY_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "suite:spec29",
+        "suite:spec29",
+        "the full 29-benchmark SPEC CPU2006-like suite (default)",
+    ),
+    (
+        "suite:spec29/scaled@8",
+        "suite:spec29/scaled@N",
+        "a curated N-benchmark spread of the suite's behaviours (N < 29)",
+    ),
+    (
+        "random:n=8,seed=0",
+        "random:n=N,seed=S",
+        "N parametric synthetic benchmarks drawn from the ReuseProfile space",
+    ),
+    (
+        "service:n=8,seed=0",
+        "service:n=N,seed=S",
+        "N bursty, strongly-phased microservice-like benchmarks",
+    ),
+)
+
+
+def available_workloads() -> List[str]:
+    """Constructible exemplar specs, one per registered family."""
+    return [exemplar for exemplar, _, _ in _FAMILY_ROWS]
+
+
+def describe_workloads() -> List[Tuple[str, str]]:
+    """(spec pattern, description) rows for every registered family."""
+    return [(pattern, description) for _, pattern, description in _FAMILY_ROWS]
+
+
+def _suite_digest(suite: BenchmarkSuite) -> str:
+    """A short content digest of a suite (stable across processes)."""
+    description = "\x1f".join(repr(spec) for spec in suite.specs)
+    return hashlib.sha256(description.encode("utf-8")).hexdigest()[:12]
+
+
+def workload_for(
+    workload: Union[str, WorkloadSource, BenchmarkSuite, None],
+    suite: Optional[BenchmarkSuite] = None,
+) -> WorkloadSource:
+    """Resolve anything workload-shaped into a :class:`WorkloadSource`.
+
+    * ``None`` → the default workload (``suite:spec29``), or — when a
+      bare ``suite`` object is supplied — that suite under a canonical
+      spec if it matches a registered workload, else under a
+      content-digest ``inline:<hash>`` spec (deterministic across
+      processes, so engine cache keys and profile files still agree).
+    * a spec string → :func:`make_workload`.
+    * a :class:`WorkloadSource` → returned as-is.
+
+    ``suite`` is the authoritative suite object when both are given
+    (the engine's worker-reconstruction path ships the pickled suite
+    next to the spec so workers never rebuild it from the registry).
+    """
+    if workload is None and suite is None:
+        return make_workload(DEFAULT_WORKLOAD)
+    if workload is None:
+        full = spec_cpu2006_like_suite()
+        if suite.specs == full.specs:
+            return make_workload(DEFAULT_WORKLOAD)
+        if 0 < len(suite) < 29 and suite.specs == small_suite(len(suite)).specs:
+            return make_workload(f"suite:spec29/scaled@{len(suite)}")
+        captured = suite
+        return RegisteredWorkload(
+            f"inline:{_suite_digest(suite)}",
+            f"an inline suite of {len(suite)} benchmarks",
+            lambda: captured,
+        )
+    if isinstance(workload, BenchmarkSuite):
+        return workload_for(None, suite=workload)
+    if isinstance(workload, str):
+        source = make_workload(workload)
+        if suite is not None and suite.specs != source.suite().specs:
+            # A mismatched pair would store results computed from the
+            # ad-hoc suite under the registered spec's cache identity,
+            # poisoning any shared cache directory.
+            raise WorkloadSpecError(
+                f"the supplied suite does not match workload {source.spec!r}; "
+                "pass the suite alone (it gets its own inline: spec) or "
+                "drop it"
+            )
+    else:
+        source = workload
+    if suite is not None:
+        # Trusted pair (engine recipe ships a WorkloadSource instance
+        # whose builder returns this suite): keep the spec, serve the
+        # shipped suite object.
+        return RegisteredWorkload(source.spec, source.describe(), lambda: suite)
+    return source

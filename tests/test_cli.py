@@ -14,8 +14,27 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["suite"])
         assert args.command == "suite"
-        for command in ("suite", "models", "profile", "predict", "compare", "rank", "stress"):
+        for command in (
+            "suite",
+            "workloads",
+            "models",
+            "profile",
+            "predict",
+            "compare",
+            "rank",
+            "stress",
+        ):
             assert command in parser.format_help()
+
+    def test_suite_specs_are_canonicalised_and_validated(self, capsys):
+        args = build_parser().parse_args(["suite", "--suite", "RANDOM"])
+        assert args.suite == "random:n=8,seed=0"
+        args = build_parser().parse_args(["suite", "--suite", "suite:spec29/scaled@5"])
+        assert args.suite == "suite:spec29/scaled@5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--suite", "oracle"])
+        # The rejection names the available specs.
+        assert "suite:spec29" in capsys.readouterr().err
 
     def test_missing_subcommand_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -58,6 +77,42 @@ class TestCommands:
         ):
             assert spec in output
         assert "default: mppm:foa" in output
+
+    def test_workloads_lists_the_registry(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        for spec in ("suite:spec29", "random:", "service:"):
+            assert spec in output
+        assert "default: suite:spec29" in output
+
+    def test_suite_flag_selects_the_workload(self, capsys):
+        assert main(["suite", "--suite", "service:n=4,seed=0", "--instructions", "20000"]) == 0
+        output = capsys.readouterr().out
+        assert "service:n=4,seed=0" in output
+        assert "svc-gateway" in output
+
+    def test_suite_flag_drives_predictions(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "--suite",
+                    "service:n=4,seed=0",
+                    "--instructions",
+                    "20000",
+                    "svc-auth",
+                    "svc-kvcache",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "svc-auth" in output and "STP" in output
+
+    def test_suite_and_benchmarks_flags_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["suite", "--suite", "random:n=4,seed=0", "--benchmarks", "5"])
+        assert "not allowed with" in capsys.readouterr().err
 
     def test_predict_with_model_flag(self, capsys):
         assert main(["predict", *FAST, "--model", "baseline:no-contention", "gamess", "hmmer"]) == 0

@@ -60,6 +60,8 @@ class TestRegistry:
             "mppm:foa",
             "mppm:sdc",
             "mppm:prob",
+            "mppm:windowed",
+            "mppm:figure2",
             "baseline:no-contention",
             "baseline:one-shot",
             "detailed",
@@ -70,6 +72,8 @@ class TestRegistry:
         "mppm:foa",
         "mppm:sdc",
         "mppm:prob",
+        "mppm:windowed",
+        "mppm:figure2",
         "baseline:no-contention",
         "baseline:one-shot",
         "detailed",
@@ -176,6 +180,32 @@ class TestBitIdentityWithReplacedPaths:
         direct = cls(machine).predict_mix(mix, self._profiles(setup, mix, machine))
         via_registry = setup.predict(mix, machine, predictor=f"baseline:{variant}")
         assert replace(via_registry, predictor=None) == direct
+
+    @pytest.mark.parametrize("variant,flag", [
+        ("windowed", "use_windowed_cpi"),
+        ("figure2", "literal_figure2_update"),
+    ])
+    def test_mppm_variant_specs_match_explicit_configs(
+        self, variant, flag, setup, mix, machine
+    ):
+        from repro.core import MPPMConfig
+
+        config = MPPMConfig(**{flag: True})
+        direct = MPPM(machine, config=config).predict_mix(
+            mix, self._profiles(setup, mix, machine)
+        )
+        via_registry = setup.predict(mix, machine, predictor=f"mppm:{variant}")
+        assert replace(via_registry, predictor=None) == direct
+        assert via_registry.predictor == f"mppm:{variant}"
+        # Variants run through the cached registry path: a repeat is a
+        # cache hit returning the same object.
+        assert setup.predict(mix, machine, predictor=f"mppm:{variant}") is via_registry
+
+    def test_mppm_variant_specs_reject_explicit_configs(self, setup):
+        from repro.core import MPPMConfig
+
+        with pytest.raises(PredictorError):
+            make_predictor("mppm:windowed", setup, mppm_config=MPPMConfig(smoothing=0.9))
 
     def test_detailed_spec_matches_reference_simulation(self, setup, mix, machine):
         measured = setup.simulate(mix, machine)

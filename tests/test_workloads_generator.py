@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workloads.benchmark import BenchmarkSpec, PhaseSpec, ReuseProfile, WorkloadError
-from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.generator import GENERATOR_KERNELS, TraceGenerator, generate_trace
 from repro.workloads.trace import MemoryTrace
 
 
@@ -122,6 +122,143 @@ class TestTraceGenerator:
         assert (trace.base_cycle_gap >= 0).all()
         assert trace.tail_base_cycles >= 0
         assert trace.footprint_lines <= spec.working_set_lines
+
+
+def _assert_traces_identical(vectorized: MemoryTrace, reference: MemoryTrace) -> None:
+    assert np.array_equal(vectorized.access_insn, reference.access_insn)
+    assert np.array_equal(vectorized.access_line, reference.access_line)
+    assert np.array_equal(vectorized.base_cycle_gap, reference.base_cycle_gap)
+    assert vectorized.access_line.dtype == reference.access_line.dtype
+    assert vectorized.base_cycle_gap.dtype == reference.base_cycle_gap.dtype
+    assert vectorized.tail_base_cycles == reference.tail_base_cycles
+    assert vectorized.num_instructions == reference.num_instructions
+
+
+#: The equivalence matrix: every row is a (label, spec, num_instructions)
+#: corner the vectorized kernel must reproduce bit-for-bit.
+EQUIVALENCE_CASES = [
+    (
+        "phased",
+        _small_spec(
+            name="phased",
+            phases=(
+                PhaseSpec(fraction=0.3, mem_fraction_multiplier=0.5),
+                PhaseSpec(fraction=0.4, reuse_depth_multiplier=1.8, cpi_multiplier=1.3),
+                PhaseSpec(fraction=0.3, new_line_multiplier=3.0, mem_fraction_multiplier=1.5),
+            ),
+        ),
+        20_000,
+    ),
+    (
+        "streaming",
+        _small_spec(
+            name="streaming",
+            reuse=ReuseProfile(buckets=((8, 0.3),), new_weight=0.7),
+            working_set_lines=50_000,
+        ),
+        20_000,
+    ),
+    (
+        "wrap-around",
+        _small_spec(
+            name="wrappy",
+            reuse=ReuseProfile(buckets=((8, 0.3), (64, 0.1)), new_weight=0.6),
+            working_set_lines=48,
+        ),
+        20_000,
+    ),
+    (
+        "deep-reuse-beyond-footprint",
+        _small_spec(
+            name="deep",
+            reuse=ReuseProfile(buckets=((2048, 0.6),), new_weight=0.05),
+            working_set_lines=128,
+        ),
+        10_000,
+    ),
+    (
+        "streaming-only-no-buckets",
+        _small_spec(name="cold", reuse=ReuseProfile(buckets=(), new_weight=1.0)),
+        5_000,
+    ),
+    ("shorter-than-interval", _small_spec(name="tiny"), 17),
+    (
+        "tiny-trace-many-phases",
+        _small_spec(
+            name="tiny-phased",
+            phases=(
+                PhaseSpec(fraction=0.4),
+                PhaseSpec(fraction=0.3, mem_fraction_multiplier=2.0),
+                PhaseSpec(fraction=0.3),
+            ),
+        ),
+        7,
+    ),
+]
+
+
+class TestKernelEquivalence:
+    """The vectorized kernel is bit-identical to the reference loop."""
+
+    @pytest.mark.parametrize(
+        "spec,num_instructions",
+        [case[1:] for case in EQUIVALENCE_CASES],
+        ids=[case[0] for case in EQUIVALENCE_CASES],
+    )
+    def test_equivalence_matrix(self, spec, num_instructions):
+        generator = TraceGenerator(num_instructions=num_instructions, seed=0)
+        _assert_traces_identical(
+            generator.generate(spec, kernel="vectorized"),
+            generator.generate(spec, kernel="reference"),
+        )
+
+    def test_suite_benchmarks_are_identical_across_kernels(self, full_suite, generator):
+        for name in ("gamess", "lbm", "mcf", "gcc", "cactusADM"):
+            spec = full_suite[name]
+            _assert_traces_identical(
+                generator.generate(spec, kernel="vectorized"),
+                generator.generate(spec, kernel="reference"),
+            )
+
+    def test_default_kernel_is_vectorized_and_selectable(self):
+        assert GENERATOR_KERNELS == ("vectorized", "reference")
+        assert TraceGenerator().kernel == "vectorized"
+        spec = _small_spec()
+        via_ctor = TraceGenerator(num_instructions=5_000, kernel="reference").generate(spec)
+        via_call = TraceGenerator(num_instructions=5_000).generate(spec, kernel="reference")
+        _assert_traces_identical(via_call, via_ctor)
+
+    def test_unknown_kernel_is_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceGenerator(kernel="magic")
+        with pytest.raises(WorkloadError):
+            TraceGenerator(num_instructions=1_000).generate(_small_spec(), kernel="magic")
+
+    @given(
+        mem_fraction=st.floats(min_value=0.05, max_value=0.6),
+        new_weight=st.floats(min_value=0.0, max_value=0.8),
+        working_set=st.integers(min_value=16, max_value=2_000),
+        deep_depth=st.integers(min_value=65, max_value=4_096),
+        num_instructions=st.integers(min_value=5, max_value=8_000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_equivalence(
+        self, mem_fraction, new_weight, working_set, deep_depth, num_instructions, seed
+    ):
+        spec = _small_spec(
+            name="prop",
+            mem_ref_fraction=mem_fraction,
+            reuse=ReuseProfile(
+                buckets=((8, 0.5), (64, 0.3), (deep_depth, 0.1)), new_weight=new_weight
+            ),
+            working_set_lines=working_set,
+        )
+        generator = TraceGenerator(num_instructions=num_instructions, seed=seed)
+        _assert_traces_identical(
+            generator.generate(spec, kernel="vectorized"),
+            generator.generate(spec, kernel="reference"),
+        )
 
 
 class TestIntervalSlices:
