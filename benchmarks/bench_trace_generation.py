@@ -124,7 +124,10 @@ def main() -> None:
         "tolerates shared-runner noise)",
     )
     args = parser.parse_args()
-    run_guard(quick=args.quick)
+    result = run_guard(quick=args.quick)
+    from perf_snapshot import round_floats, write_snapshot
+
+    write_snapshot("trace_generation", round_floats(result), quick=args.quick)
 
 
 if __name__ == "__main__":

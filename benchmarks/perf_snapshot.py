@@ -1,0 +1,57 @@
+"""Committed performance snapshots: ``BENCH_<name>.json`` at the repo root.
+
+Every standalone benchmark guard (``bench_singlecore_kernel.py``,
+``bench_trace_generation.py``, ``bench_service.py``) writes its
+measurement through :func:`write_snapshot`, so the repo carries a
+committed perf trajectory next to the code: a reviewer can diff
+``BENCH_service.json`` across PRs the same way they diff test
+expectations.  Snapshots record the measurement, the mode (``quick``
+CI smoke vs full scale) and the python version; wall-clock numbers are
+machine-dependent, so diffs are judged by ratios (speedups, cache-hit
+rates, batch sizes), not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict
+
+#: The repo root (this file lives in ``<root>/benchmarks/``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def snapshot_path(name: str) -> Path:
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_snapshot(name: str, measurement: Dict, quick: bool = False) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``measurement`` is the guard's result dict, stored verbatim under
+    ``"measurement"``; floats are rounded at the JSON layer only by
+    ``round_floats`` callers, not here.
+    """
+    payload = {
+        "benchmark": name,
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "measurement": measurement,
+    }
+    path = snapshot_path(name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {path.name}", file=sys.stderr)
+    return path
+
+
+def round_floats(value, digits: int = 4):
+    """Recursively round floats (snapshot noise control for latency dicts)."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {key: round_floats(item, digits) for key, item in value.items()}
+    if isinstance(value, list):
+        return [round_floats(item, digits) for item in value]
+    return value

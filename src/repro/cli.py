@@ -32,6 +32,10 @@ The CLI wraps the most common workflows behind one executable
     (accuracy, ranking, agreement, stress, variability, space) through
     the parallel engine, with ``--jobs N`` workers, a persistent
     ``--cache-dir`` and any set of estimators (repeatable ``--model``).
+``serve``
+    Run the prediction service: an asyncio HTTP/JSON server over the
+    predictor/workload registries with request batching and
+    shared-cache memoisation (see ``src/repro/service/``).
 
 All commands accept ``--suite`` (a workload spec from ``repro
 workloads``), ``--benchmarks``, ``--instructions``, ``--scale`` and
@@ -43,6 +47,7 @@ benchmark suite in ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -210,6 +215,11 @@ def _with_setup(handler):
 
 def _command_models(args: argparse.Namespace) -> int:
     """List the predictor registry (no experiment setup required)."""
+    if getattr(args, "json", False):
+        from repro.service.payloads import models_payload
+
+        print(json.dumps(models_payload(), indent=2))
+        return 0
     rows = [
         {"spec": spec, "description": description}
         for spec, description in describe_predictors()
@@ -226,6 +236,11 @@ def _command_models(args: argparse.Namespace) -> int:
 
 def _command_workloads(args: argparse.Namespace) -> int:
     """List the workload registry (no experiment setup required)."""
+    if getattr(args, "json", False):
+        from repro.service.payloads import workloads_payload
+
+        print(json.dumps(workloads_payload(), indent=2))
+        return 0
     rows = [
         {"spec": spec, "description": description}
         for spec, description in describe_workloads()
@@ -423,6 +438,26 @@ def _command_stress(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the prediction service until Ctrl-C or ``POST /shutdown``."""
+    from repro.service import ServiceConfig, serve_blocking
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        workload=args.suite if args.suite is not None else DEFAULT_WORKLOAD,
+        window=args.window,
+        max_batch=args.max_batch,
+        instructions=args.instructions,
+        scale=args.scale,
+        seed=args.seed,
+        preload=not args.no_preload,
+    )
+    return serve_blocking(config)
+
+
 #: Experiments the unified pipeline knows how to run, in run order.
 RUN_EXPERIMENTS = ("space", "variability", "accuracy", "ranking", "agreement", "stress")
 
@@ -535,10 +570,20 @@ def build_parser() -> argparse.ArgumentParser:
     models_parser = subparsers.add_parser(
         "models", help="list the registered predictor specs"
     )
+    models_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (the same payload as GET /models)",
+    )
     models_parser.set_defaults(handler=_command_models)
 
     workloads_parser = subparsers.add_parser(
         "workloads", help="list the registered workload specs"
+    )
+    workloads_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (the same payload as GET /workloads)",
     )
     workloads_parser.set_defaults(handler=_command_workloads)
 
@@ -612,6 +657,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print a live engine job counter to stderr"
     )
     run_parser.set_defaults(handler=_with_setup(_command_run), experiments=None)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the prediction service (HTTP/JSON over the registries)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8181,
+        help="port to bind; 0 picks an ephemeral port (default: 8181)",
+    )
+    serve_parser.add_argument(
+        "--suite",
+        type=_workload_spec,
+        default=None,
+        help=(
+            "workload preloaded at startup and used when a request names "
+            f"none (default: {DEFAULT_WORKLOAD})"
+        ),
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="engine worker processes; 1 runs everything in-process (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent cache directory for profiles and results (default: memory only)",
+    )
+    serve_parser.add_argument(
+        "--window",
+        type=float,
+        default=0.005,
+        help="micro-batch window in seconds (default: 0.005)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=64,
+        help="flush a batch once this many requests are pending (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--instructions",
+        type=int,
+        default=200_000,
+        help="trace length per benchmark (default: 200000, matching `repro predict`)",
+    )
+    serve_parser.add_argument(
+        "--scale", type=int, default=16, help="cache capacity scaling divisor (default: 16)"
+    )
+    serve_parser.add_argument("--seed", type=int, default=0, help="global seed (default: 0)")
+    serve_parser.add_argument(
+        "--no-preload",
+        action="store_true",
+        help="skip the startup profile preload (profiles are computed on first use)",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
 
     return parser
 

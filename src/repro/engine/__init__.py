@@ -54,16 +54,25 @@ def create_engine(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     reporter: Optional[ProgressReporter] = None,
+    memory_cache: bool = False,
 ) -> Executor:
     """Build an executor from the two knobs every caller has.
 
     ``jobs`` selects the backend (1 → serial, N → a process pool of N
     workers); ``cache_dir`` is the campaign cache directory — engine
     results are persisted under ``<cache_dir>/results``, next to the
-    profile store's ``<cache_dir>/profiles``.
+    profile store's ``<cache_dir>/profiles``.  ``memory_cache`` gives
+    the executor a memory-only :class:`ResultCache` when no cache
+    directory is configured, so long-running callers (the prediction
+    service) still memoise and deduplicate repeated work without
+    touching disk.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
     backend: ExecutorBackend = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
-    cache = ResultCache(Path(cache_dir) / "results") if cache_dir is not None else None
+    cache: Optional[ResultCache] = None
+    if cache_dir is not None:
+        cache = ResultCache(Path(cache_dir) / "results")
+    elif memory_cache:
+        cache = ResultCache(None)
     return Executor(backend=backend, cache=cache, reporter=reporter)

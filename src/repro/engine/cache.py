@@ -85,6 +85,22 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    def stats(self) -> Dict[str, int]:
+        """Live counters (entries, hits, misses, stores, loaded).
+
+        ``stores`` counts results actually computed and recorded, so a
+        consumer can prove a warm sweep recomputed nothing by comparing
+        the counter before and after (the service's ``/stats`` endpoint
+        does exactly this).
+        """
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "loaded": self.loaded,
+        }
+
     def __contains__(self, key: str) -> bool:
         return self._memory.__contains__(key) or (
             self._path(key) is not None and self._path(key).exists()

@@ -89,6 +89,12 @@ class Executor:
         """Whether a content key would hit the result cache (no side effects)."""
         return cache_key is not None and self.cache is not None and cache_key in self.cache
 
+    def cache_stats(self) -> Dict[str, int]:
+        """The result cache's live counters (all zero without a cache)."""
+        if self.cache is None:
+            return {"entries": 0, "hits": 0, "misses": 0, "stores": 0, "loaded": 0}
+        return self.cache.stats()
+
     def refresh_workers(self) -> None:
         """Recycle backend workers (see :meth:`ExecutorBackend.refresh`)."""
         self.backend.refresh()

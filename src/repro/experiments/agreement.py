@@ -32,7 +32,7 @@ from repro.experiments.ranking import (
 from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.predictors import canonical_spec, lookup_spec
-from repro.workloads import BenchmarkClass, sample_category_mixes
+from repro.workloads import BenchmarkClass
 
 
 @dataclass(frozen=True)
@@ -193,7 +193,6 @@ def agreement_experiment(
         raise ValueError("at least one predictor spec is required")
     predictors = [canonical_spec(spec) for spec in predictors]
     machines = setup.design_space(num_cores=num_cores)
-    classification = setup.classification()
 
     model_mixes = setup.mixes(num_cores, mppm_mixes, seed=seed + 1)
     model_scores = _evaluate_mix_sets(
@@ -211,11 +210,11 @@ def agreement_experiment(
     labels = ["reference"]
     for trial in range(num_trials):
         simulated_mix_sets.append(
-            sample_category_mixes(
-                classification,
-                num_programs=num_cores,
-                mixes_per_category=per_category,
+            setup.mixes(
+                num_cores,
+                per_category,
                 seed=seed + 100 + trial,
+                category=tuple(BenchmarkClass),
             )
         )
         labels.append(f"trial {trial + 1}")

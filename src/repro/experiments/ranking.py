@@ -25,11 +25,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.setup import ExperimentSetup
 from repro.metrics import spearman_rank_correlation
 from repro.predictors import canonical_spec, lookup_spec
-from repro.workloads import (
-    BenchmarkClass,
-    WorkloadMix,
-    sample_category_mixes,
-)
+from repro.workloads import BenchmarkClass, WorkloadMix
 
 
 @dataclass(frozen=True)
@@ -260,7 +256,6 @@ def ranking_experiment(
         list(predictors),
     )
 
-    classification = setup.classification()
     trial_mix_sets: List[Sequence[WorkloadMix]] = []
     for trial in range(num_trials):
         if policy == "random":
@@ -269,11 +264,11 @@ def ranking_experiment(
             )
         else:
             per_category = max(1, mixes_per_trial // len(BenchmarkClass))
-            trial_mixes = sample_category_mixes(
-                classification,
-                num_programs=num_cores,
-                mixes_per_category=per_category,
+            trial_mixes = setup.mixes(
+                num_cores,
+                per_category,
                 seed=seed + 100 + trial,
+                category=tuple(BenchmarkClass),
             )
         trial_mix_sets.append(trial_mixes)
     trials = _evaluate_mix_sets(

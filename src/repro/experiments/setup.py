@@ -53,6 +53,7 @@ from repro.workloads import (
     classify_suite,
     workload_for,
 )
+from repro.workloads.registry import MixCategory
 
 #: One (mix, machine) unit of a bulk evaluation.
 MixJob = Tuple[WorkloadMix, MachineConfig]
@@ -186,16 +187,26 @@ class ExperimentSetup:
         return self.suite.names
 
     def mixes(
-        self, num_programs: int, num_mixes: int, seed: int = 0, unique: bool = True
+        self,
+        num_programs: int,
+        num_mixes: int,
+        seed: int = 0,
+        unique: bool = True,
+        category: Optional["MixCategory"] = None,
     ) -> List[WorkloadMix]:
         """Sample multi-program mixes through the setup's workload source.
 
         Identical to ``sample_mixes(self.benchmark_names, ...)`` — the
         registry's sources draw from the same sorted name list — but
         routed through the Workload API so experiments stay agnostic of
-        where the suite came from.
+        where the suite came from.  ``category`` constrains the sample
+        to MEM/COMP/MIX classes ("current practice" sampling): a single
+        category or a sequence, in which case ``num_mixes`` counts per
+        category (see :meth:`WorkloadSource.mixes`).
         """
-        return self.workload.mixes(num_programs, num_mixes, seed=seed, unique=unique)
+        return self.workload.mixes(
+            num_programs, num_mixes, seed=seed, unique=unique, category=category
+        )
 
     def classification(self) -> Dict[str, BenchmarkClass]:
         """MEM / COMP / MIX classes used for category-based mix selection."""

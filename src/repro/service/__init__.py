@@ -1,0 +1,49 @@
+"""Prediction-as-a-service: an asyncio HTTP/JSON layer over the registries.
+
+The paper's workflow is batch-shaped — sweep, evaluate, plot — but the
+artefact it produces (a fast, profile-driven performance predictor) is
+exactly the kind of thing a scheduler or a capacity-planning tool wants
+to *query*.  This package serves the predictor/workload registries over
+HTTP with request batching, in-flight deduplication and shared-cache
+memoisation, all on the stdlib (asyncio) — no web framework.
+
+* :mod:`repro.service.http` — minimal HTTP/1.1 server on asyncio streams
+* :mod:`repro.service.app` — the endpoints, spec parsing and setups
+* :mod:`repro.service.batching` — micro-batching + in-flight dedup
+* :mod:`repro.service.stats` — live counters behind ``GET /stats``
+* :mod:`repro.service.runner` — blocking / threaded entry points
+* :mod:`repro.service.client` — stdlib asyncio client (tests, bench, CI)
+* :mod:`repro.service.payloads` — JSON payloads shared with the CLI
+"""
+
+from repro.service.app import PredictionService, ServiceConfig
+from repro.service.batching import BatcherClosed, PredictionBatcher, PredictOp
+from repro.service.client import ServiceClient, ServiceClientError, predict_once
+from repro.service.http import HttpError, HttpServer, Request, Response
+from repro.service.payloads import models_payload, prediction_payload, workloads_payload
+from repro.service.runner import ANNOUNCE_PREFIX, ServiceThread, serve, serve_blocking
+from repro.service.stats import LatencyTracker, ServiceStats
+
+__all__ = [
+    "PredictionService",
+    "ServiceConfig",
+    "PredictionBatcher",
+    "PredictOp",
+    "BatcherClosed",
+    "ServiceClient",
+    "ServiceClientError",
+    "predict_once",
+    "HttpServer",
+    "HttpError",
+    "Request",
+    "Response",
+    "models_payload",
+    "workloads_payload",
+    "prediction_payload",
+    "ServiceThread",
+    "serve",
+    "serve_blocking",
+    "ANNOUNCE_PREFIX",
+    "LatencyTracker",
+    "ServiceStats",
+]

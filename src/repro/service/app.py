@@ -1,0 +1,397 @@
+"""The prediction service: registry-backed HTTP endpoints over the engine.
+
+:class:`PredictionService` owns one shared, memoising engine and a lazy
+family of :class:`~repro.experiments.setup.ExperimentSetup` objects (one
+per workload spec requested), and serves:
+
+* ``POST /predict`` — MPPM (or baseline / detailed) predictions for an
+  explicit mix, a list of mixes, or a sampled batch; body fields are
+  the same spec strings the CLI takes (``predictor``, ``workload``,
+  ``machine``).
+* ``GET /models`` / ``GET /workloads`` — the registries, exactly the
+  payloads of ``repro models --json`` / ``repro workloads --json``.
+* ``GET /healthz`` — liveness (and readiness: the server only starts
+  listening after the profile preload finished).
+* ``GET /stats`` — live counters: requests, batching, in-flight dedup,
+  engine cache hits, latency percentiles.
+* ``POST /shutdown`` — clean shutdown (used by the CI smoke test).
+
+Single-core profiles are bundled into the shared
+:class:`~repro.profiling.ProfileStore` once at startup
+(:meth:`PredictionService.start` preloads the configured workload) and
+then read concurrently; predictions are computed through the batching
+layer and remembered by the engine's content-hash result cache, so a
+warm server recomputes nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import MachineConfig
+from repro.engine import create_engine
+from repro.experiments.setup import ExperimentConfig, ExperimentSetup
+from repro.predictors import DEFAULT_PREDICTOR, PredictorError, canonical_spec
+from repro.service.batching import PredictionBatcher, PredictOp
+from repro.service.http import HttpError, HttpServer, Request, Response
+from repro.service.payloads import models_payload, prediction_payload, workloads_payload
+from repro.service.stats import ServiceStats
+from repro.workloads import DEFAULT_WORKLOAD, WorkloadMix, canonical_workload_spec
+from repro.workloads.benchmark import WorkloadError
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can turn into a running service."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Engine worker count (1 → serial; the batcher still coalesces).
+    jobs: int = 1
+    #: Campaign cache directory; ``None`` keeps memoisation in memory.
+    cache_dir: Optional[Union[str, Path]] = None
+    #: The workload preloaded at startup and used when a request names none.
+    workload: str = DEFAULT_WORKLOAD
+    #: Micro-batch window (seconds) and size cap.
+    window: float = 0.005
+    max_batch: int = 64
+    #: Experiment knobs — must match the CLI defaults so served
+    #: predictions are bit-identical to ``repro predict``.
+    instructions: int = 200_000
+    scale: int = 16
+    seed: int = 0
+    #: Skip the startup profile preload (tests; cold-start benchmarks).
+    preload: bool = True
+
+    def experiment_config(self) -> ExperimentConfig:
+        # Mirrors the CLI's `_build_setup`: 50 intervals per trace.
+        return ExperimentConfig(
+            scale=self.scale,
+            num_instructions=self.instructions,
+            interval_instructions=max(1, self.instructions // 50),
+            seed=self.seed,
+        )
+
+
+class PredictionService:
+    """The handler behind the HTTP server (usable without it, too)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.stats = ServiceStats()
+        self.engine = create_engine(
+            jobs=self.config.jobs, cache_dir=self.config.cache_dir, memory_cache=True
+        )
+        self._experiment_config = self.config.experiment_config()
+        self._setups: Dict[str, ExperimentSetup] = {}
+        self._worker = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-serve")
+        self.batcher = PredictionBatcher(
+            self._run_batch,
+            self._worker,
+            window=self.config.window,
+            max_batch=self.config.max_batch,
+            stats=self.stats,
+        )
+        self.server = HttpServer(self.handle, host=self.config.host, port=self.config.port)
+        self.shutdown_event = asyncio.Event()
+        self.preloaded_profiles = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "PredictionService":
+        """Preload profiles, then start listening (ready when returning)."""
+        if self.config.preload:
+            setup = self._setup_for(self.config.workload)
+            loop = asyncio.get_running_loop()
+            self.preloaded_profiles = await loop.run_in_executor(
+                self._worker, setup.store.preload, setup.suite, setup.machine()
+            )
+        await self.server.start()
+        return self
+
+    async def close(self) -> None:
+        await self.batcher.close()
+        await self.server.close()
+        self._worker.shutdown(wait=True)
+        for setup in self._setups.values():
+            setup.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        endpoint = f"{request.method} {request.path}"
+        self.stats.record_request(endpoint)
+        try:
+            return await self._route(request)
+        except HttpError:
+            self.stats.errors += 1
+            raise
+
+    async def _route(self, request: Request) -> Response:
+        path, method = request.path.rstrip("/") or "/", request.method
+        if path == "/predict":
+            if method != "POST":
+                raise HttpError(405, "use POST /predict")
+            return await self._handle_predict(request)
+        if path == "/shutdown":
+            if method != "POST":
+                raise HttpError(405, "use POST /shutdown")
+            self.shutdown_event.set()
+            return Response({"status": "shutting down"})
+        if method != "GET":
+            raise HttpError(405, f"{method} is not supported on {path}")
+        if path == "/":
+            return Response(
+                {
+                    "service": "repro prediction service",
+                    "endpoints": [
+                        "POST /predict",
+                        "GET /models",
+                        "GET /workloads",
+                        "GET /healthz",
+                        "GET /stats",
+                        "POST /shutdown",
+                    ],
+                }
+            )
+        if path == "/healthz":
+            return Response(
+                {
+                    "status": "ok",
+                    "uptime_seconds": self.stats.uptime_seconds(),
+                    "preloaded_profiles": self.preloaded_profiles,
+                }
+            )
+        if path == "/models":
+            return Response(models_payload())
+        if path == "/workloads":
+            return Response(workloads_payload())
+        if path == "/stats":
+            return Response(self.stats_payload())
+        raise HttpError(404, f"unknown path {request.path}")
+
+    def stats_payload(self) -> Dict:
+        payload = self.stats.snapshot()
+        payload["engine_cache"] = self.engine.cache_stats()
+        payload["profiles"] = {
+            spec: setup.store.cached_pairs() for spec, setup in sorted(self._setups.items())
+        }
+        payload["config"] = {
+            "workload": canonical_workload_spec(self.config.workload),
+            "jobs": self.config.jobs,
+            "window": self.config.window,
+            "max_batch": self.config.max_batch,
+        }
+        return payload
+
+    # ------------------------------------------------------------------
+    # /predict
+    # ------------------------------------------------------------------
+
+    async def _handle_predict(self, request: Request) -> Response:
+        started = time.monotonic()
+        payload = request.json()
+        predictor, setup, mixes, machines, single, llc_config = self._parse_predict(payload)
+        ops = [
+            PredictOp(setup=setup, predictor=predictor, mix=mix, machine=machine)
+            for mix, machine in zip(mixes, machines)
+        ]
+        predictions = await asyncio.gather(*(self.batcher.submit(op) for op in ops))
+        self.stats.predictions_served += len(predictions)
+        self.stats.latency.record(time.monotonic() - started)
+        body: Dict = {
+            "predictor": predictor,
+            "workload": setup.workload_spec,
+            "machine": {
+                "llc_config": llc_config,
+                "cores": [machine.num_cores for machine in machines],
+            },
+            "mixes": [list(mix.programs) for mix in mixes],
+            "count": len(predictions),
+            "predictions": [prediction_payload(prediction) for prediction in predictions],
+        }
+        if single:
+            body["prediction"] = body["predictions"][0]
+        return Response(body)
+
+    def _parse_predict(
+        self, payload: Dict
+    ) -> Tuple[str, ExperimentSetup, List[WorkloadMix], List[MachineConfig], bool, int]:
+        known = {"predictor", "workload", "mix", "mixes", "sample", "machine"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise HttpError(
+                400, f"unknown field(s) {', '.join(unknown)}; expected {', '.join(sorted(known))}"
+            )
+        try:
+            predictor = canonical_spec(str(payload.get("predictor", DEFAULT_PREDICTOR)))
+        except PredictorError as error:
+            raise HttpError(400, str(error)) from None
+        try:
+            setup = self._setup_for(str(payload.get("workload", self.config.workload)))
+        except WorkloadError as error:
+            raise HttpError(400, str(error)) from None
+        mixes, single = self._parse_mixes(payload, setup)
+        llc_config, cores = self._parse_machine(payload.get("machine"))
+        machines = []
+        for mix in mixes:
+            if cores is not None and cores != mix.num_programs:
+                raise HttpError(
+                    400,
+                    f"machine cores ({cores}) must match the mix size "
+                    f"({mix.num_programs}) — each program runs on its own core",
+                )
+            try:
+                machines.append(setup.machine(num_cores=mix.num_programs, llc_config=llc_config))
+            except KeyError as error:
+                raise HttpError(400, str(error).strip('"')) from None
+        return predictor, setup, mixes, machines, single, llc_config
+
+    def _parse_mixes(
+        self, payload: Dict, setup: ExperimentSetup
+    ) -> Tuple[List[WorkloadMix], bool]:
+        given = [field for field in ("mix", "mixes", "sample") if field in payload]
+        if len(given) != 1:
+            raise HttpError(400, "provide exactly one of 'mix', 'mixes' or 'sample'")
+        field = given[0]
+        if field == "sample":
+            return self._sample_mixes(payload["sample"], setup), False
+        raw = payload[field]
+        rows = [raw] if field == "mix" else raw
+        if not isinstance(rows, list) or not rows:
+            raise HttpError(400, f"'{field}' must be a non-empty list")
+        mixes = [self._mix_from(row, setup) for row in rows]
+        return mixes, field == "mix"
+
+    def _mix_from(self, row: object, setup: ExperimentSetup) -> WorkloadMix:
+        if (
+            not isinstance(row, list)
+            or not row
+            or not all(isinstance(name, str) for name in row)
+        ):
+            raise HttpError(400, "a mix must be a non-empty list of benchmark names")
+        names = setup.benchmark_names
+        unknown = sorted(set(row) - set(names))
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown benchmark(s) {', '.join(unknown)} in workload "
+                f"{setup.workload_spec}; valid names: {', '.join(names)}",
+            )
+        return WorkloadMix(programs=tuple(row))
+
+    def _sample_mixes(self, spec: object, setup: ExperimentSetup) -> List[WorkloadMix]:
+        if not isinstance(spec, dict):
+            raise HttpError(
+                400, "'sample' must be an object like {'programs': 4, 'count': 3, 'seed': 0}"
+            )
+        try:
+            programs = int(spec.get("programs", 4))
+            count = int(spec.get("count", 1))
+            seed = int(spec.get("seed", 0))
+        except (TypeError, ValueError):
+            raise HttpError(400, "'programs', 'count' and 'seed' must be integers") from None
+        unique = bool(spec.get("unique", True))
+        category = spec.get("category")
+        if programs < 1 or count < 1:
+            raise HttpError(400, "'programs' and 'count' must be positive")
+        try:
+            return setup.mixes(programs, count, seed=seed, unique=unique, category=category)
+        except WorkloadError as error:
+            raise HttpError(400, str(error)) from None
+
+    @staticmethod
+    def _parse_machine(value: object) -> Tuple[int, Optional[int]]:
+        """``machine`` field → (llc_config, explicit cores or None).
+
+        Accepts nothing (LLC #1), an int, ``"llcN"``/``"N"`` strings, or
+        ``{"llc_config": N, "cores": M}``.
+        """
+        cores: Optional[int] = None
+        if value is None:
+            return 1, None
+        if isinstance(value, bool):
+            raise HttpError(400, "'machine' must be an LLC configuration number or object")
+        if isinstance(value, int):
+            return value, None
+        if isinstance(value, str):
+            text = value.strip().lower()
+            if text.startswith("llc"):
+                text = text[3:]
+            try:
+                return int(text), None
+            except ValueError:
+                raise HttpError(
+                    400, f"unknown machine spec {value!r}; use an LLC number like 1 or 'llc3'"
+                ) from None
+        if isinstance(value, dict):
+            unknown = sorted(set(value) - {"llc_config", "cores"})
+            if unknown:
+                raise HttpError(
+                    400,
+                    f"unknown machine field(s) {', '.join(unknown)}; "
+                    "expected llc_config, cores",
+                )
+            try:
+                llc_config = int(value.get("llc_config", 1))
+                cores = int(value["cores"]) if "cores" in value else None
+            except (TypeError, ValueError):
+                raise HttpError(400, "'llc_config' and 'cores' must be integers") from None
+            return llc_config, cores
+        raise HttpError(400, "'machine' must be an LLC configuration number or object")
+
+    # ------------------------------------------------------------------
+    # Worker-thread side
+    # ------------------------------------------------------------------
+
+    def _setup_for(self, workload: str) -> ExperimentSetup:
+        spec = canonical_workload_spec(workload)
+        setup = self._setups.get(spec)
+        if setup is None:
+            setup = ExperimentSetup(
+                config=self._experiment_config,
+                workload=spec,
+                engine=self.engine,
+                cache_dir=self.config.cache_dir,
+            )
+            self._setups[spec] = setup
+        return setup
+
+    def _run_batch(self, ops: Sequence[PredictOp]) -> List:
+        """Execute one coalesced batch (runs on the single worker thread).
+
+        Ops are grouped by workload setup (each group becomes one engine
+        job graph via ``predictor_batch``) and results are reassembled
+        in submission order.  Compute accounting is by result-cache
+        store delta: entries the engine had to create during this batch
+        are computed work, everything else was memoised.
+        """
+        stores_before = self.engine.cache_stats()["stores"]
+        groups: Dict[str, List[int]] = {}
+        for index, op in enumerate(ops):
+            groups.setdefault(op.setup.workload_spec, []).append(index)
+        results: List = [None] * len(ops)
+        for indices in groups.values():
+            setup = ops[indices[0]].setup
+            predictions = setup.predictor_batch(
+                [(ops[i].predictor, ops[i].mix, ops[i].machine) for i in indices]
+            )
+            for index, prediction in zip(indices, predictions):
+                results[index] = prediction
+        self.stats.predictions_computed += (
+            self.engine.cache_stats()["stores"] - stores_before
+        )
+        return results

@@ -1,0 +1,162 @@
+"""A tiny asyncio JSON/HTTP client for the prediction service.
+
+Stdlib-only counterpart of :mod:`repro.service.http`: one keep-alive
+connection per :class:`ServiceClient`, requests serialised on it (open
+several clients for concurrency — that is exactly what the load
+generator does).  Used by the tests, the CI smoke script and
+``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx response; carries the status and the server's payload."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """``async with ServiceClient(host, port) as client: ...``"""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8181) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    # Raw requests
+    # ------------------------------------------------------------------
+
+    async def request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        """One request/response cycle; returns ``(status, json_payload)``."""
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        async with self._lock:
+            self._writer.write(head.encode("latin-1") + body)
+            await self._writer.drain()
+            return await self._read_response()
+
+    async def _read_response(self) -> Tuple[int, Dict]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("the service closed the connection")
+        parts = status_line.decode("latin-1").split()
+        status = int(parts[1])
+        content_length = 0
+        close_after = False
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                content_length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                close_after = True
+        body = await self._reader.readexactly(content_length) if content_length else b"{}"
+        if close_after:
+            await self.close()
+        return status, json.loads(body.decode("utf-8"))
+
+    async def _json(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        status, body = await self.request(method, path, payload)
+        if status != 200:
+            raise ServiceClientError(status, body)
+        return body
+
+    # ------------------------------------------------------------------
+    # Endpoint conveniences
+    # ------------------------------------------------------------------
+
+    async def healthz(self) -> Dict:
+        return await self._json("GET", "/healthz")
+
+    async def models(self) -> Dict:
+        return await self._json("GET", "/models")
+
+    async def workloads(self) -> Dict:
+        return await self._json("GET", "/workloads")
+
+    async def stats(self) -> Dict:
+        return await self._json("GET", "/stats")
+
+    async def shutdown(self) -> Dict:
+        return await self._json("POST", "/shutdown")
+
+    async def predict(
+        self,
+        mix: Optional[Sequence[str]] = None,
+        mixes: Optional[Sequence[Sequence[str]]] = None,
+        sample: Optional[Dict] = None,
+        predictor: Optional[str] = None,
+        workload: Optional[str] = None,
+        machine: Optional[Union[int, str, Dict]] = None,
+    ) -> Dict:
+        """``POST /predict`` with the same fields the wire format takes."""
+        payload: Dict = {}
+        if mix is not None:
+            payload["mix"] = list(mix)
+        if mixes is not None:
+            payload["mixes"] = [list(row) for row in mixes]
+        if sample is not None:
+            payload["sample"] = sample
+        if predictor is not None:
+            payload["predictor"] = predictor
+        if workload is not None:
+            payload["workload"] = workload
+        if machine is not None:
+            payload["machine"] = machine
+        return await self._json("POST", "/predict", payload)
+
+
+async def predict_once(
+    host: str, port: int, mix: Sequence[str], **kwargs: object
+) -> Dict:
+    """One-shot convenience: connect, predict one mix, disconnect."""
+    async with ServiceClient(host, port) as client:
+        return await client.predict(mix=list(mix), **kwargs)  # type: ignore[arg-type]
+
+
+__all__: List[str] = ["ServiceClient", "ServiceClientError", "predict_once"]

@@ -47,6 +47,7 @@ from repro.workloads.families import (
 )
 from repro.workloads.registry import (
     DEFAULT_WORKLOAD,
+    MixCategory,
     RegisteredWorkload,
     WorkloadSource,
     WorkloadSpecError,
@@ -54,6 +55,7 @@ from repro.workloads.registry import (
     canonical_workload_spec,
     describe_workloads,
     make_workload,
+    resolve_categories,
     workload_for,
 )
 from repro.workloads.classification import (
@@ -85,6 +87,7 @@ __all__ = [
     "service_benchmark",
     "service_suite",
     "DEFAULT_WORKLOAD",
+    "MixCategory",
     "RegisteredWorkload",
     "WorkloadSource",
     "WorkloadSpecError",
@@ -92,6 +95,7 @@ __all__ = [
     "canonical_workload_spec",
     "describe_workloads",
     "make_workload",
+    "resolve_categories",
     "workload_for",
     "BenchmarkClass",
     "classify_benchmark",

@@ -34,11 +34,22 @@ ad-hoc workloads cache consistently across processes.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 from repro.workloads.benchmark import WorkloadError
+from repro.workloads.classification import BenchmarkClass, classify_suite
 from repro.workloads.families import random_suite, service_suite
-from repro.workloads.mixes import WorkloadMix, sample_mixes
+from repro.workloads.mixes import WorkloadMix, sample_category_mixes, sample_mixes
 from repro.workloads.suite import BenchmarkSuite, small_suite, spec_cpu2006_like_suite
 
 #: The spec every experiment and CLI command defaults to.
@@ -53,6 +64,36 @@ class WorkloadSpecError(WorkloadError):
     """Raised for unknown or malformed workload specs."""
 
 
+#: A mix category: a :class:`BenchmarkClass`, its (case-insensitive)
+#: name ("mem" / "comp" / "mix"), or a sequence of either.
+MixCategory = Union[str, BenchmarkClass, Sequence[Union[str, BenchmarkClass]]]
+
+
+def resolve_categories(category: MixCategory) -> List[BenchmarkClass]:
+    """Normalise a :data:`MixCategory` into a list of benchmark classes.
+
+    Raises :class:`WorkloadError` naming the valid categories for
+    anything unrecognised.
+    """
+    if isinstance(category, (str, BenchmarkClass)):
+        category = [category]
+    resolved = []
+    for entry in category:
+        if isinstance(entry, BenchmarkClass):
+            resolved.append(entry)
+            continue
+        try:
+            resolved.append(BenchmarkClass(str(entry).strip().upper()))
+        except ValueError:
+            raise WorkloadError(
+                f"unknown mix category {entry!r}; valid categories: "
+                + ", ".join(cls.value for cls in BenchmarkClass)
+            ) from None
+    if not resolved:
+        raise WorkloadError("at least one mix category is required")
+    return resolved
+
+
 @runtime_checkable
 class WorkloadSource(Protocol):
     """Anything that supplies a benchmark suite and samples mixes from it."""
@@ -65,7 +106,12 @@ class WorkloadSource(Protocol):
         ...  # pragma: no cover - protocol
 
     def mixes(
-        self, num_programs: int, num_mixes: int, seed: int = 0, unique: bool = True
+        self,
+        num_programs: int,
+        num_mixes: int,
+        seed: int = 0,
+        unique: bool = True,
+        category: Optional[MixCategory] = None,
     ) -> List[WorkloadMix]:
         """Sample multi-program mixes over the suite's benchmarks."""
         ...  # pragma: no cover - protocol
@@ -90,10 +136,33 @@ class RegisteredWorkload:
         return self._suite
 
     def mixes(
-        self, num_programs: int, num_mixes: int, seed: int = 0, unique: bool = True
+        self,
+        num_programs: int,
+        num_mixes: int,
+        seed: int = 0,
+        unique: bool = True,
+        category: Optional[MixCategory] = None,
     ) -> List[WorkloadMix]:
-        return sample_mixes(
-            self.suite().names, num_programs, num_mixes, seed=seed, unique=unique
+        """Sample mixes, optionally constrained to MEM/COMP/MIX categories.
+
+        Without ``category`` this is uniform sampling over the suite
+        (``num_mixes`` mixes, distinct when ``unique``).  With a
+        category — a :class:`BenchmarkClass`, its name, or a sequence
+        of either — mixes are drawn within each requested category
+        ("current practice" sampling, §5 of the paper): ``num_mixes``
+        mixes *per category*, drawn with replacement (``unique`` does
+        not apply), in category order.
+        """
+        if category is None:
+            return sample_mixes(
+                self.suite().names, num_programs, num_mixes, seed=seed, unique=unique
+            )
+        return sample_category_mixes(
+            classify_suite(self.suite()),
+            num_programs,
+            mixes_per_category=num_mixes,
+            seed=seed,
+            categories=resolve_categories(category),
         )
 
     def describe(self) -> str:

@@ -23,8 +23,17 @@ class TestParser:
             "compare",
             "rank",
             "stress",
+            "serve",
         ):
             assert command in parser.format_help()
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8181
+        assert args.jobs == 1 and args.cache_dir is None
+        assert args.window == 0.005 and args.max_batch == 64
+        args = build_parser().parse_args(["serve", "--port", "0", "--suite", "random"])
+        assert args.port == 0 and args.suite == "random:n=8,seed=0"
 
     def test_suite_specs_are_canonicalised_and_validated(self, capsys):
         args = build_parser().parse_args(["suite", "--suite", "RANDOM"])
@@ -84,6 +93,28 @@ class TestCommands:
         for spec in ("suite:spec29", "random:", "service:"):
             assert spec in output
         assert "default: suite:spec29" in output
+
+    def test_models_json_matches_the_service_payload(self, capsys):
+        import json
+
+        from repro.service.payloads import models_payload
+
+        assert main(["models", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == models_payload()
+
+    def test_workloads_json_matches_the_service_payload(self, capsys):
+        import json
+
+        from repro.service.payloads import workloads_payload
+
+        assert main(["workloads", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == workloads_payload()
+        # Every advertised example spec is constructible.
+        from repro.workloads import make_workload
+
+        for row in payload["workloads"]:
+            assert make_workload(row["example"]).spec == row["example"]
 
     def test_suite_flag_selects_the_workload(self, capsys):
         assert main(["suite", "--suite", "service:n=4,seed=0", "--instructions", "20000"]) == 0

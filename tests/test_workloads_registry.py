@@ -16,20 +16,25 @@ import repro
 from repro.experiments import ExperimentConfig, ExperimentSetup
 from repro.workloads import (
     DEFAULT_WORKLOAD,
+    BenchmarkClass,
     WorkloadMix,
     WorkloadSource,
     WorkloadSpecError,
     available_workloads,
     canonical_workload_spec,
+    classify_suite,
     describe_workloads,
     make_workload,
     random_benchmark,
+    resolve_categories,
+    sample_category_mixes,
     sample_mixes,
     service_benchmark,
     small_suite,
     spec_cpu2006_like_suite,
     workload_for,
 )
+from repro.workloads.benchmark import WorkloadError
 
 CONFIG = ExperimentConfig(scale=16, num_instructions=20_000, interval_instructions=1_000)
 
@@ -307,3 +312,61 @@ class TestTraceGenerationThroughRegistry:
                 assert np.array_equal(
                     vectorized.base_cycle_gap, reference.base_cycle_gap
                 )
+
+
+class TestCategoryMixes:
+    """`category=` on WorkloadSource.mixes — "current practice" sampling."""
+
+    def test_single_category_constrains_the_program_classes(self):
+        workload = make_workload(DEFAULT_WORKLOAD)
+        classes = classify_suite(workload.suite())
+        # MEM / COMP mixes hold only programs of that class; a MIX mix
+        # deliberately combines both (plus MIX-classed programs).
+        for category in (BenchmarkClass.MEM, BenchmarkClass.COMP):
+            mixes = workload.mixes(4, 3, seed=7, category=category)
+            assert len(mixes) == 3
+            for mix in mixes:
+                assert all(classes[name] == category for name in mix.programs)
+        mixed = workload.mixes(4, 3, seed=7, category=BenchmarkClass.MIX)
+        assert len(mixed) == 3
+        assert all(mix.num_programs == 4 for mix in mixed)
+
+    def test_string_and_enum_categories_agree(self):
+        workload = make_workload(DEFAULT_WORKLOAD)
+        assert workload.mixes(4, 2, seed=3, category="mem") == workload.mixes(
+            4, 2, seed=3, category=BenchmarkClass.MEM
+        )
+
+    def test_category_sequence_matches_the_legacy_helper(self):
+        """The folded API reproduces sample_category_mixes bit for bit."""
+        workload = make_workload(DEFAULT_WORKLOAD)
+        classes = classify_suite(workload.suite())
+        legacy = sample_category_mixes(classes, 4, mixes_per_category=3, seed=41)
+        folded = workload.mixes(4, 3, seed=41, category=tuple(BenchmarkClass))
+        assert folded == legacy
+
+    def test_sequence_counts_are_per_category(self):
+        workload = make_workload(DEFAULT_WORKLOAD)
+        mixes = workload.mixes(2, 2, seed=0, category=("MEM", "COMP"))
+        assert len(mixes) == 4
+
+    def test_unknown_category_lists_the_valid_choices(self):
+        workload = make_workload(DEFAULT_WORKLOAD)
+        with pytest.raises(WorkloadError, match="valid categories.*MEM.*COMP.*MIX"):
+            workload.mixes(4, 2, category="IO")
+
+    def test_resolve_categories_round_trips(self):
+        assert resolve_categories("MEM") == [BenchmarkClass.MEM]
+        assert resolve_categories(BenchmarkClass.MIX) == [BenchmarkClass.MIX]
+        assert resolve_categories(["mem", BenchmarkClass.COMP]) == [
+            BenchmarkClass.MEM,
+            BenchmarkClass.COMP,
+        ]
+
+    def test_setup_mixes_passes_the_category_through(self):
+        setup = ExperimentSetup(config=CONFIG)
+        classes = setup.classification()
+        mixes = setup.mixes(4, 2, seed=5, category="COMP")
+        assert mixes == setup.workload.mixes(4, 2, seed=5, category="COMP")
+        for mix in mixes:
+            assert all(classes[name] == BenchmarkClass.COMP for name in mix.programs)
