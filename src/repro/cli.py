@@ -231,6 +231,9 @@ def _command_models(args: argparse.Namespace) -> int:
         )
     )
     print(f"\ndefault: {DEFAULT_PREDICTOR}")
+    from repro.core import MPPM_KERNELS
+
+    print(f"mppm kernels: {', '.join(MPPM_KERNELS)} (default: batched, bit-identical)")
     return 0
 
 

@@ -15,8 +15,46 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.caches.stack_distance import StackDistanceCounters
 from repro.config.cache_config import CacheConfig
+
+
+def suffix_miss_counts(counts: np.ndarray) -> np.ndarray:
+    """Batched ``misses_for_ways`` for every integer way count at once.
+
+    ``counts[..., A+1]`` are stack-distance counter vectors; the result
+    has the same shape with ``suffix[..., w]`` = the miss count at
+    ``w`` ways (``counts[..., w:].sum()``).  Each suffix is summed over
+    the same contiguous slice, in the same order, as the scalar
+    :meth:`~repro.caches.stack_distance.StackDistanceCounters.misses_for_ways`,
+    so the two agree bitwise.
+    """
+    suffix = np.empty_like(counts)
+    for ways in range(counts.shape[-1]):
+        suffix[..., ways] = counts[..., ways:].sum(axis=-1)
+    return suffix
+
+
+def interpolate_suffix_misses(suffix: np.ndarray, effective_ways: np.ndarray) -> np.ndarray:
+    """Batched ``misses_for_effective_ways`` over precomputed suffix sums.
+
+    Linear interpolation between the neighbouring integer way counts,
+    with the same clamps (negative → 0, at or beyond the associativity
+    → the plain miss count) and the same float operation order as the
+    scalar method, so batch and scalar results are bit-identical.
+    """
+    associativity = suffix.shape[-1] - 1
+    effective = np.maximum(np.asarray(effective_ways, dtype=np.float64), 0.0)
+    capped = effective >= associativity
+    lower = np.minimum(effective.astype(np.int64), associativity - 1)
+    fraction = effective - lower
+    at_lower = np.take_along_axis(suffix, lower[..., None], axis=-1)[..., 0]
+    at_upper = np.take_along_axis(suffix, (lower + 1)[..., None], axis=-1)[..., 0]
+    return np.where(
+        capped, suffix[..., associativity], (1.0 - fraction) * at_lower + fraction * at_upper
+    )
 
 
 class ContentionModelError(ValueError):
@@ -98,6 +136,52 @@ class ContentionModel(ABC):
     ) -> Dict[str, ContentionEstimate]:
         """Convenience wrapper returning a name-keyed dictionary."""
         return {estimate.name: estimate for estimate in self.estimate(demands, llc)}
+
+    def estimate_batch(
+        self, counts: np.ndarray, instructions: np.ndarray, llc: CacheConfig
+    ) -> np.ndarray:
+        """Shared-cache miss counts for a whole batch of windows at once.
+
+        ``counts[m, c, A+1]`` holds every program's stack-distance
+        counters over its window, for ``m`` co-schedules of ``c``
+        programs each; ``instructions[m, c]`` the matching window
+        instruction counts.  Returns ``shared_misses[m, c]``,
+        bit-identical per mix to running :meth:`estimate` on that mix's
+        demands alone.  This base implementation loops over mixes, so
+        any third-party model is batch-capable out of the box; the
+        built-in models override it with vectorized array expressions.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        instructions = np.asarray(instructions, dtype=np.float64)
+        self._validate_batch(counts, llc)
+        shared = np.empty(counts.shape[:2], dtype=np.float64)
+        for m in range(counts.shape[0]):
+            demands = [
+                ProgramCacheDemand(
+                    name=f"core{c}",
+                    sdc=StackDistanceCounters(
+                        associativity=llc.associativity, counts=counts[m, c]
+                    ),
+                    instructions=float(instructions[m, c]),
+                )
+                for c in range(counts.shape[1])
+            ]
+            for c, estimate in enumerate(self.estimate(demands, llc)):
+                shared[m, c] = estimate.shared_misses
+        return shared
+
+    @staticmethod
+    def _validate_batch(counts: np.ndarray, llc: CacheConfig) -> None:
+        if counts.ndim != 3 or counts.shape[1] < 1:
+            raise ContentionModelError(
+                "batched counts must have shape (mixes, programs, ways + 1) "
+                f"with at least one program, got {counts.shape}"
+            )
+        if counts.shape[-1] != llc.associativity + 1:
+            raise ContentionModelError(
+                f"batched SDC width {counts.shape[-1] - 1} does not match the "
+                f"shared cache associativity {llc.associativity}"
+            )
 
     @staticmethod
     def _validate(demands: Sequence[ProgramCacheDemand], llc: CacheConfig) -> None:

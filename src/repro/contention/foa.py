@@ -18,11 +18,15 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.config.cache_config import CacheConfig
 from repro.contention.base import (
     ContentionEstimate,
     ContentionModel,
     ProgramCacheDemand,
+    interpolate_suffix_misses,
+    suffix_miss_counts,
 )
 
 
@@ -58,3 +62,26 @@ class FOAModel(ContentionModel):
                 )
             )
         return estimates
+
+    def estimate_batch(
+        self, counts: np.ndarray, instructions: np.ndarray, llc: CacheConfig
+    ) -> np.ndarray:
+        """The proportional-share formula as one array expression per batch."""
+        counts = np.asarray(counts, dtype=np.float64)
+        self._validate_batch(counts, llc)
+        num_programs = counts.shape[1]
+        isolated = counts[..., llc.associativity]
+        if num_programs == 1:
+            return isolated.copy()
+        accesses = counts.sum(axis=-1)
+        # Accumulate the per-mix access totals program by program, in
+        # the same left-to-right order as the scalar path's sum().
+        total = accesses[:, 0].copy()
+        for core in range(1, num_programs):
+            total = total + accesses[:, core]
+        share = accesses / np.where(total > 0.0, total, 1.0)[:, None]
+        effective_ways = llc.associativity * share
+        shared = interpolate_suffix_misses(suffix_miss_counts(counts), effective_ways)
+        shared = np.maximum(shared, isolated)
+        degenerate = (total <= 0.0)[:, None] | (accesses <= 0.0)
+        return np.where(degenerate, isolated, shared)

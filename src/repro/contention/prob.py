@@ -25,11 +25,15 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.config.cache_config import CacheConfig
 from repro.contention.base import (
     ContentionEstimate,
     ContentionModel,
     ProgramCacheDemand,
+    interpolate_suffix_misses,
+    suffix_miss_counts,
 )
 
 
@@ -82,3 +86,48 @@ class InductiveProbabilityModel(ContentionModel):
                 )
             )
         return estimates
+
+    def estimate_batch(
+        self, counts: np.ndarray, instructions: np.ndarray, llc: CacheConfig
+    ) -> np.ndarray:
+        """Dilation accumulated co-runner by co-runner, as the scalar loop does.
+
+        The inner loops run over programs (a handful of cores), not
+        mixes, so the work per float stays a few array ops.  Co-runners
+        with no accesses contribute an exact 0.0 term, which matches
+        the scalar path skipping them (the dilation is at least 1.0,
+        so adding 0.0 leaves it bitwise unchanged).
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        self._validate_batch(counts, llc)
+        num_mixes, num_programs, _ = counts.shape
+        associativity = llc.associativity
+        isolated = counts[..., associativity]
+        if num_programs == 1:
+            return isolated.copy()
+
+        accesses = counts.sum(axis=-1)
+        unique_rate = np.where(
+            accesses > 0.0, isolated / np.where(accesses > 0.0, accesses, 1.0), 0.0
+        )
+        suffix = suffix_miss_counts(counts)
+        shared = np.empty_like(accesses)
+        for i in range(num_programs):
+            own = accesses[:, i]
+            safe_own = np.where(own > 0.0, own, 1.0)
+            dilation = np.ones(num_mixes, dtype=np.float64)
+            for j in range(num_programs):
+                if j == i:
+                    continue
+                term = np.where(
+                    accesses[:, j] > 0.0,
+                    (accesses[:, j] / safe_own) * unique_rate[:, j],
+                    0.0,
+                )
+                dilation = dilation + term
+            surviving_ways = associativity / dilation
+            contended = np.maximum(
+                interpolate_suffix_misses(suffix[:, i], surviving_ways), isolated[:, i]
+            )
+            shared[:, i] = np.where(own > 0.0, contended, isolated[:, i])
+        return shared

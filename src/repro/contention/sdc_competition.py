@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.config.cache_config import CacheConfig
 from repro.contention.base import (
     ContentionEstimate,
     ContentionModel,
     ProgramCacheDemand,
+    suffix_miss_counts,
 )
 
 
@@ -80,3 +83,44 @@ class StackDistanceCompetitionModel(ContentionModel):
                 )
             )
         return estimates
+
+    def estimate_batch(
+        self, counts: np.ndarray, instructions: np.ndarray, llc: CacheConfig
+    ) -> np.ndarray:
+        """All mixes run the way-by-way competition in lock step.
+
+        Every round, each mix's winner is the first program with the
+        strictly greatest counter at its next unclaimed stack position
+        — exactly the scalar loop's running-best scan (initialised to
+        -1.0, so first occurrence of the maximum wins and exhausted
+        programs, masked to -1.0, never do).  Mixes whose programs are
+        all exhausted simply stop winning ways, which is the batched
+        form of the scalar loop's early break.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        self._validate_batch(counts, llc)
+        num_mixes, num_programs, _ = counts.shape
+        associativity = llc.associativity
+        isolated = counts[..., associativity]
+        if num_programs == 1:
+            return isolated.copy()
+
+        accesses = counts.sum(axis=-1)
+        won_ways = np.zeros((num_mixes, num_programs), dtype=np.int64)
+        next_position = np.zeros((num_mixes, num_programs), dtype=np.int64)
+        rows = np.arange(num_mixes)
+        for _ in range(associativity):
+            values = np.take_along_axis(counts, next_position[..., None], axis=-1)[..., 0]
+            values = np.where(next_position >= associativity, -1.0, values)
+            best_value = values.max(axis=1)
+            winner = np.argmax(values == best_value[:, None], axis=1)
+            live = best_value > -1.0
+            won_ways[rows[live], winner[live]] += 1
+            next_position[rows[live], winner[live]] += 1
+
+        effective_ways = np.where(accesses > 0.0, np.maximum(won_ways, 1), associativity)
+        effective_ways = np.minimum(effective_ways, associativity)
+        shared = np.take_along_axis(
+            suffix_miss_counts(counts), effective_ways[..., None], axis=-1
+        )[..., 0]
+        return np.maximum(shared, isolated)

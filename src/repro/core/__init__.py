@@ -10,13 +10,16 @@ The model is the iterative process of the paper's Figure 2; see
 :mod:`repro.core.mppm` for the step-by-step correspondence.
 """
 
-from repro.core.mppm import MPPM, MPPMConfig
+from repro.core.batched import solve_batch
+from repro.core.mppm import MPPM, MPPM_KERNELS, MPPMConfig
 from repro.core.result import IterationRecord, MixPrediction, ProgramPrediction
 from repro.core.baselines import NoContentionPredictor, OneShotContentionPredictor
 
 __all__ = [
     "MPPM",
+    "MPPM_KERNELS",
     "MPPMConfig",
+    "solve_batch",
     "MixPrediction",
     "ProgramPrediction",
     "IterationRecord",

@@ -37,6 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.config.machine import MachineConfig
 from repro.contention import FOAModel
 from repro.contention.base import ContentionModel, ProgramCacheDemand
+from repro.core.batched import solve_batch
 from repro.core.result import IterationRecord, MixPrediction, ProgramPrediction
 from repro.profiling.profile import SingleCoreProfile
 from repro.workloads.mixes import WorkloadMix
@@ -44,6 +45,15 @@ from repro.workloads.mixes import WorkloadMix
 
 class MPPMError(ValueError):
     """Raised for invalid model configurations or inputs."""
+
+
+#: The available fixed-point solvers.  ``"batched"`` (the default) runs
+#: the mix-major numpy kernel in :mod:`repro.core.batched`; it solves a
+#: whole batch of mixes in one array pass and a single mix as a batch of
+#: one.  ``"reference"`` is the original per-mix Python loop, kept as
+#: executable ground truth.  The two produce bit-identical predictions
+#: by construction, so the choice is pure performance.
+MPPM_KERNELS: Tuple[str, ...] = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -143,6 +153,13 @@ class MPPM:
         The cache-contention model; FOA by default, as in the paper.
     config:
         Iteration parameters (see :class:`MPPMConfig`).
+    kernel:
+        Default solver kernel, one of :data:`MPPM_KERNELS`.  Both
+        kernels produce bit-identical predictions; ``"batched"`` is an
+        order of magnitude faster on bulk sweeps.  Per-call overrides
+        are accepted by every predict method.  Configurations with
+        ``store_history=True`` always run the reference loop (history
+        is per-iteration bookkeeping only the sequential kernel keeps).
     """
 
     def __init__(
@@ -150,19 +167,59 @@ class MPPM:
         machine: MachineConfig,
         contention_model: Optional[ContentionModel] = None,
         config: Optional[MPPMConfig] = None,
+        kernel: str = "batched",
     ) -> None:
         self.machine = machine
         self.contention_model = contention_model if contention_model is not None else FOAModel()
         self.config = config if config is not None else MPPMConfig()
+        if kernel not in MPPM_KERNELS:
+            raise MPPMError(f"unknown MPPM kernel {kernel!r}; choose from {MPPM_KERNELS}")
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def predict(self, profiles: Sequence[SingleCoreProfile]) -> MixPrediction:
+    def predict(
+        self, profiles: Sequence[SingleCoreProfile], kernel: Optional[str] = None
+    ) -> MixPrediction:
         """Predict multi-core performance for one mix (one profile per core)."""
-        if not profiles:
-            raise MPPMError("at least one program profile is required")
+        return self.predict_batch([profiles], kernel=kernel)[0]
+
+    def predict_batch(
+        self,
+        mixes: Sequence[Sequence[SingleCoreProfile]],
+        kernel: Optional[str] = None,
+    ) -> List[MixPrediction]:
+        """Predict every mix (one profile list per mix) in one call.
+
+        With the batched kernel the whole batch is solved by one
+        mix-major fixed-point pass (:func:`repro.core.batched.solve_batch`);
+        with the reference kernel the mixes are solved one by one.  The
+        results are bit-identical either way and are returned in input
+        order.
+        """
+        batches = [list(profiles) for profiles in mixes]
+        for profiles in batches:
+            if not profiles:
+                raise MPPMError("at least one program profile is required")
+            self._check_profiles(profiles)
+        if self._resolve_kernel(kernel) == "reference":
+            return [self._predict_reference(profiles) for profiles in batches]
+        return solve_batch(self.machine, self.contention_model, self.config, batches)
+
+    def _resolve_kernel(self, kernel: Optional[str]) -> str:
+        resolved = kernel if kernel is not None else self.kernel
+        if resolved not in MPPM_KERNELS:
+            raise MPPMError(f"unknown MPPM kernel {resolved!r}; choose from {MPPM_KERNELS}")
+        if resolved == "batched" and self.config.store_history:
+            # Per-iteration history is sequential bookkeeping that only
+            # the reference loop records; fall back transparently.
+            return "reference"
+        return resolved
+
+    def _predict_reference(self, profiles: Sequence[SingleCoreProfile]) -> MixPrediction:
+        """The original per-mix Python loop (ground truth for the batched kernel)."""
         states = [
             _ProgramState(
                 label=self._label(profile.benchmark, core, profiles),
@@ -171,7 +228,6 @@ class MPPM:
             )
             for core, profile in enumerate(profiles)
         ]
-        self._check_profiles(states)
 
         chunk = self.config.chunk_instructions
         if chunk is None:
@@ -215,22 +271,52 @@ class MPPM:
             iterations=iterations,
             converged=converged,
             history=tuple(history),
+            kernel="reference",
         )
 
     def predict_mix(
-        self, mix: WorkloadMix, profiles: Mapping[str, SingleCoreProfile]
+        self,
+        mix: WorkloadMix,
+        profiles: Mapping[str, SingleCoreProfile],
+        kernel: Optional[str] = None,
     ) -> MixPrediction:
         """Predict performance for a :class:`WorkloadMix` given a profile library."""
+        return self.predict(self._mix_profiles(mix, profiles), kernel=kernel)
+
+    def predict_many(
+        self,
+        mixes: Sequence[WorkloadMix],
+        profiles: Mapping[str, SingleCoreProfile],
+        kernel: Optional[str] = None,
+    ) -> List[MixPrediction]:
+        """Predict performance for many mixes (the bulk-evaluation use case).
+
+        Identical mixes (same program tuple) within one call are solved
+        once and share the same immutable prediction object, so sweeps
+        with repeated mixes pay for each distinct mix only.
+        """
+        unique_index: Dict[Tuple[str, ...], int] = {}
+        unique_batches: List[List[SingleCoreProfile]] = []
+        order: List[int] = []
+        for mix in mixes:
+            key = tuple(mix.programs)
+            index = unique_index.get(key)
+            if index is None:
+                index = len(unique_batches)
+                unique_index[key] = index
+                unique_batches.append(self._mix_profiles(mix, profiles))
+            order.append(index)
+        solved = self.predict_batch(unique_batches, kernel=kernel)
+        return [solved[index] for index in order]
+
+    @staticmethod
+    def _mix_profiles(
+        mix: WorkloadMix, profiles: Mapping[str, SingleCoreProfile]
+    ) -> List[SingleCoreProfile]:
         missing = [name for name in mix.programs if name not in profiles]
         if missing:
             raise MPPMError(f"no profiles for mix programs: {missing}")
-        return self.predict([profiles[name] for name in mix.programs])
-
-    def predict_many(
-        self, mixes: Sequence[WorkloadMix], profiles: Mapping[str, SingleCoreProfile]
-    ) -> List[MixPrediction]:
-        """Predict performance for many mixes (the bulk-evaluation use case)."""
-        return [self.predict_mix(mix, profiles) for mix in mixes]
+        return [profiles[name] for name in mix.programs]
 
     # ------------------------------------------------------------------
     # One iteration of Figure 2
@@ -316,19 +402,19 @@ class MPPM:
         duplicates = sum(1 for profile in profiles if profile.benchmark == benchmark)
         return f"{benchmark}#{core}" if duplicates > 1 else benchmark
 
-    def _check_profiles(self, states: Sequence[_ProgramState]) -> None:
+    def _check_profiles(self, profiles: Sequence[SingleCoreProfile]) -> None:
         expected_key = self.machine.profile_key()
         llc_ways = self.machine.llc.associativity
-        for state in states:
-            if state.profile.llc_associativity != llc_ways:
+        for profile in profiles:
+            if profile.llc_associativity != llc_ways:
                 raise MPPMError(
-                    f"{state.profile.benchmark}: profile was collected for an "
-                    f"{state.profile.llc_associativity}-way LLC but the machine has "
+                    f"{profile.benchmark}: profile was collected for an "
+                    f"{profile.llc_associativity}-way LLC but the machine has "
                     f"{llc_ways} ways"
                 )
-            if state.profile.machine_key != expected_key:
+            if profile.machine_key != expected_key:
                 raise MPPMError(
-                    f"{state.profile.benchmark}: profile was collected on a different machine "
-                    f"({state.profile.machine_name!r}) than the one being modelled "
+                    f"{profile.benchmark}: profile was collected on a different machine "
+                    f"({profile.machine_name!r}) than the one being modelled "
                     f"({self.machine.name!r}); re-profile or derive a matching profile"
                 )

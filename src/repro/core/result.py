@@ -50,8 +50,12 @@ class MixPrediction:
 
     ``predictor`` is the registry spec of the estimator that produced
     the prediction (``"mppm:foa"``, ``"detailed"``, …; see
-    :mod:`repro.predictors`).  It round-trips through the JSON
-    serialisation, so cached and exported results are self-describing.
+    :mod:`repro.predictors`).  ``kernel`` names the solver kernel that
+    produced it (``"batched"`` / ``"reference"`` for MPPM; ``None`` for
+    estimators without kernel variants).  Both round-trip through the
+    JSON serialisation, so cached and exported results are
+    self-describing; the kernels are bit-identical, so the field is
+    pure provenance and never part of a cache key.
     """
 
     machine_name: str
@@ -60,6 +64,7 @@ class MixPrediction:
     converged: bool
     history: Tuple[IterationRecord, ...] = field(default=())
     predictor: Optional[str] = None
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.programs:
@@ -108,6 +113,7 @@ class MixPrediction:
             "iterations": self.iterations,
             "converged": self.converged,
             "predictor": self.predictor,
+            "kernel": self.kernel,
             "programs": [
                 {
                     "name": program.name,
@@ -152,6 +158,7 @@ class MixPrediction:
             for entry in data["history"]
         )
         predictor = data.get("predictor")
+        kernel = data.get("kernel")
         return cls(
             machine_name=data["machine_name"],
             programs=programs,
@@ -159,12 +166,14 @@ class MixPrediction:
             converged=bool(data["converged"]),
             history=history,
             predictor=str(predictor) if predictor is not None else None,
+            kernel=str(kernel) if kernel is not None else None,
         )
 
     def describe(self) -> str:
+        kernel = f", kernel={self.kernel}" if self.kernel is not None else ""
         lines = [
             f"{self.predictor or 'MPPM'} prediction on {self.machine_name} "
-            f"({self.iterations} iterations, converged={self.converged}):"
+            f"({self.iterations} iterations, converged={self.converged}{kernel}):"
         ]
         for program in self.programs:
             lines.append(

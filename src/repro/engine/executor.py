@@ -89,6 +89,17 @@ class Executor:
         """Whether a content key would hit the result cache (no side effects)."""
         return cache_key is not None and self.cache is not None and cache_key in self.cache
 
+    def store(self, cache_key: Optional[str], value: Any) -> None:
+        """Store one result under a content key, as :meth:`run` would have.
+
+        Batch jobs compute many logical results in one task; the caller
+        scatters them and stores each under the per-result key it would
+        have had as an individual job, keeping the cache (and its
+        ``stores`` counter) indistinguishable from a per-op run.
+        """
+        if self.cache is not None and cache_key is not None:
+            self.cache.put(cache_key, value)
+
     def cache_stats(self) -> Dict[str, int]:
         """The result cache's live counters (all zero without a cache)."""
         if self.cache is None:

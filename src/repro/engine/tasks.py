@@ -158,6 +158,27 @@ def predict_task(
     return setup.predict(mix, machine, predictor=predictor, mppm_config=mppm_config)
 
 
+def predict_mppm_batch_task(
+    token: str,
+    config: "ExperimentConfig",
+    suite: "BenchmarkSuite",
+    workload_spec: str,
+    cache_dir: Optional[str],
+    predictor: str,
+    items: Tuple[Tuple["WorkloadMix", "MachineConfig"], ...],
+    mppm_config: Optional["MPPMConfig"] = None,
+):
+    """Solve many (mix, machine) pairs of one ``mppm:*`` spec in one pass.
+
+    Returns the list of predictions in item order.  The submitting
+    process scatters them to the per-op results and stores each under
+    its per-op predict cache key, so a batched sweep populates exactly
+    the same cache entries as per-op jobs would have.
+    """
+    setup = _resolve_setup(token, config, suite, workload_spec, cache_dir)
+    return setup.predictor(predictor, mppm_config=mppm_config).predict_batch(items)
+
+
 # ---------------------------------------------------------------------------
 # Job constructors
 # ---------------------------------------------------------------------------
@@ -172,7 +193,9 @@ def _config_parts(setup: "ExperimentSetup") -> Tuple:
     # The replay kernel is deliberately NOT part of the cache key: the
     # vectorized and reference kernels produce bit-identical results
     # (asserted by the equivalence suite), so artefacts computed under
-    # either remain valid for both.
+    # either remain valid for both.  The MPPM solver kernel is excluded
+    # for the same reason (batched and reference predictions are
+    # bit-identical).
     # The workload spec qualifies every result: two workloads that
     # both contain a benchmark named "gamess" must never share a cache
     # entry, even inside one campaign cache directory.
@@ -278,15 +301,7 @@ def predict_job(
     spec = canonical_spec(predictor if predictor is not None else DEFAULT_PREDICTOR)
     cache_key = None
     if contention_model is None:
-        cache_key = content_key(
-            "predict",
-            spec,
-            machine.profile_key(),
-            machine.num_cores,
-            mix.programs,
-            repr(mppm_config),
-            *_config_parts(setup),
-        )
+        cache_key = predict_cache_key(setup, spec, mix, machine, mppm_config)
     return Job(
         key=key,
         fn=predict_task,
@@ -294,4 +309,52 @@ def predict_job(
         deps=deps,
         kind="simulate" if predictor_requires_traces(spec) else "predict",
         cache_key=cache_key,
+    )
+
+
+def predict_cache_key(
+    setup: "ExperimentSetup",
+    spec: str,
+    mix: "WorkloadMix",
+    machine: "MachineConfig",
+    mppm_config: Optional["MPPMConfig"] = None,
+) -> str:
+    """The content key one (spec, mix, machine) prediction is cached under.
+
+    Shared between per-op predict jobs and the batched MPPM sweep (which
+    computes many predictions in one job but stores each under the key a
+    per-op job would have used, so the cache cannot tell the difference).
+    """
+    return content_key(
+        "predict",
+        spec,
+        machine.profile_key(),
+        machine.num_cores,
+        mix.programs,
+        repr(mppm_config),
+        *_config_parts(setup),
+    )
+
+
+def predict_mppm_batch_job(
+    setup: "ExperimentSetup",
+    items: Tuple[Tuple["WorkloadMix", "MachineConfig"], ...],
+    key: str,
+    deps: Tuple[str, ...] = (),
+    predictor: str = "mppm:foa",
+    mppm_config: Optional["MPPMConfig"] = None,
+) -> Job:
+    """Batch-solve many (mix, machine) pairs of one ``mppm:*`` spec.
+
+    The job itself carries no result-cache key (its value is a list);
+    the caller scatters the returned predictions and stores each under
+    its :func:`predict_cache_key` via :meth:`Executor.store`.
+    """
+    return Job(
+        key=key,
+        fn=predict_mppm_batch_task,
+        args=_recipe(setup) + (predictor, tuple(items), mppm_config),
+        deps=deps,
+        kind="predict",
+        cache_key=None,
     )

@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config import MachineConfig, llc_design_space, machine_with_llc, scaled
 from repro.contention.base import ContentionModel
-from repro.core import MPPM, MPPMConfig
+from repro.core import MPPM, MPPM_KERNELS, MPPMConfig
 from repro.core.result import MixPrediction
 from repro.engine import Executor, JobGraph, create_engine
 from repro.engine import tasks as engine_tasks
@@ -61,6 +61,10 @@ MixJob = Tuple[WorkloadMix, MachineConfig]
 #: One (predictor spec, mix, machine) unit of a heterogeneous sweep.
 PredictJob = Tuple[str, WorkloadMix, MachineConfig]
 
+#: Fan-out map of a batched MPPM sweep: batch job key -> per-item
+#: ``(op indices, per-op cache key)`` entries, in item order.
+BatchScatter = Dict[str, List[Tuple[List[int], str]]]
+
 #: Sentinel op for "run the raw reference simulator" in a sweep graph
 #: (returns a MultiCoreRunResult rather than a MixPrediction).
 _SIMULATE = "simulate"
@@ -83,6 +87,9 @@ class ExperimentConfig:
     #: Single-core replay kernel ("vectorized" or "reference"); the two
     #: are bit-identical, so the choice never invalidates cached results.
     kernel: str = "vectorized"
+    #: MPPM solver kernel ("batched" or "reference"); bit-identical like
+    #: the replay kernels, so — again — never part of a cache key.
+    mppm_kernel: str = "batched"
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -90,6 +97,10 @@ class ExperimentConfig:
         if self.kernel not in SINGLE_CORE_KERNELS:
             raise ValueError(
                 f"kernel must be one of {SINGLE_CORE_KERNELS}, got {self.kernel!r}"
+            )
+        if self.mppm_kernel not in MPPM_KERNELS:
+            raise ValueError(
+                f"mppm_kernel must be one of {MPPM_KERNELS}, got {self.mppm_kernel!r}"
             )
         if self.num_instructions <= 0 or self.interval_instructions <= 0:
             raise ValueError("instruction counts must be positive")
@@ -247,8 +258,13 @@ class ExperimentSetup:
         contention_model: Optional[ContentionModel] = None,
         mppm_config: Optional[MPPMConfig] = None,
     ) -> MPPM:
-        """An MPPM instance for ``machine``."""
-        return MPPM(machine, contention_model=contention_model, config=mppm_config)
+        """An MPPM instance for ``machine`` (on the configured solver kernel)."""
+        return MPPM(
+            machine,
+            contention_model=contention_model,
+            config=mppm_config,
+            kernel=self.config.mppm_kernel,
+        )
 
     def predictor(self, spec: str, mppm_config: Optional[MPPMConfig] = None):
         """A :class:`~repro.predictors.Predictor` bound to this setup."""
@@ -321,7 +337,7 @@ class ExperimentSetup:
         ops: Sequence[PredictJob],
         contention_model: Optional[ContentionModel] = None,
         mppm_config: Optional[MPPMConfig] = None,
-    ) -> JobGraph:
+    ) -> Tuple[JobGraph, "BatchScatter"]:
         """One graph for a sweep: a profile warm-up wave, then mix jobs.
 
         Each op is ``(spec, mix, machine)`` where ``spec`` is a
@@ -335,6 +351,18 @@ class ExperimentSetup:
         locally (so forked pool workers inherit the warm profile store)
         and is optional (skipped when every mix job is served from the
         result cache).
+
+        Uncached ``mppm:*`` ops do not become per-op jobs: they are
+        deduplicated by per-op cache key and packed into at most
+        ``engine.jobs`` batch jobs per spec, each of which solves its
+        items through one mix-major fixed-point pass
+        (:func:`repro.engine.tasks.predict_mppm_batch_job`).  The
+        returned scatter maps each batch job's key to its
+        ``(op indices, per-op cache key)`` entries so :meth:`_run_ops`
+        can fan the list result back out and store every prediction
+        under the key an individual job would have used.  Cached
+        ``mppm:*`` ops keep per-op jobs (which resolve from the cache
+        without computing anything).
         """
         graph = JobGraph()
         profile_keys: Dict[Tuple[str, str], str] = {}
@@ -346,6 +374,8 @@ class ExperimentSetup:
                         engine_tasks.profile_job(self, self.suite[name], machine, optional=True)
                     )
                     profile_keys[pair_key] = job.key
+        # spec -> per-op cache key -> ([op indices], (mix, machine), deps)
+        batchable: Dict[str, Dict[str, Tuple[List[int], MixJob, Tuple[str, ...]]]] = {}
         for i, (spec, mix, machine) in enumerate(ops):
             deps = tuple(
                 profile_keys[(machine.profile_key(), name)] for name in sorted(set(mix.programs))
@@ -354,20 +384,55 @@ class ExperimentSetup:
                 graph.add(
                     engine_tasks.simulate_job(self, mix, machine, key=f"op:{i}", deps=deps)
                 )
-            else:
+                continue
+            if contention_model is None and spec.startswith("mppm:"):
+                cache_key = engine_tasks.predict_cache_key(
+                    self, spec, mix, machine, mppm_config
+                )
+                if not self.engine.is_cached(cache_key):
+                    entries = batchable.setdefault(spec, {})
+                    if cache_key in entries:
+                        entries[cache_key][0].append(i)
+                    else:
+                        entries[cache_key] = ([i], (mix, machine), deps)
+                    continue
+            graph.add(
+                engine_tasks.predict_job(
+                    self,
+                    mix,
+                    machine,
+                    key=f"op:{i}",
+                    deps=deps,
+                    predictor=spec,
+                    contention_model=contention_model,
+                    mppm_config=mppm_config,
+                )
+            )
+        scatter: BatchScatter = {}
+        for spec, entries in batchable.items():
+            unique = list(entries.items())
+            num_chunks = min(len(unique), max(1, self.engine.jobs))
+            chunk_size = -(-len(unique) // num_chunks)
+            for chunk_number, start in enumerate(range(0, len(unique), chunk_size)):
+                chunk = unique[start : start + chunk_size]
+                job_key = f"batch:{spec}:{chunk_number}"
+                deps = tuple(
+                    sorted({dep for _, (_, _, item_deps) in chunk for dep in item_deps})
+                )
                 graph.add(
-                    engine_tasks.predict_job(
+                    engine_tasks.predict_mppm_batch_job(
                         self,
-                        mix,
-                        machine,
-                        key=f"op:{i}",
+                        items=tuple(item for _, (_, item, _) in chunk),
+                        key=job_key,
                         deps=deps,
                         predictor=spec,
-                        contention_model=contention_model,
                         mppm_config=mppm_config,
                     )
                 )
-        return graph
+                scatter[job_key] = [
+                    (indices, cache_key) for cache_key, (indices, _, _) in chunk
+                ]
+        return graph, scatter
 
     def _parallel_warm(self, graph: JobGraph) -> None:
         """Fan the one-time profiling cost out over the worker pool.
@@ -430,17 +495,26 @@ class ExperimentSetup:
         ``detailed`` ops come back from the graph as raw
         :class:`MultiCoreRunResult`\\ s (they share the reference
         simulation's job and cache entry) and are repackaged as
-        predictions here.
+        predictions here.  Batched ``mppm:*`` jobs come back as lists;
+        their predictions are scattered to the op slots (duplicated ops
+        share one object) and stored under the per-op cache keys.
         """
-        graph = self._sweep_graph(ops, contention_model, mppm_config)
+        graph, scatter = self._sweep_graph(ops, contention_model, mppm_config)
         self._parallel_warm(graph)
         results = self.engine.run(graph)
-        return [
-            prediction_from_run(results[f"op:{i}"])
-            if spec == "detailed"
-            else results[f"op:{i}"]
-            for i, (spec, _, _) in enumerate(ops)
-        ]
+        out: List[object] = [None] * len(ops)
+        for job_key, entries in scatter.items():
+            predictions = results[job_key]
+            for prediction, (indices, cache_key) in zip(predictions, entries):
+                self.engine.store(cache_key, prediction)
+                for index in indices:
+                    out[index] = prediction
+        for i, (spec, _, _) in enumerate(ops):
+            key = f"op:{i}"
+            if key in results:
+                value = results[key]
+                out[i] = prediction_from_run(value) if spec == "detailed" else value
+        return out
 
     def predictor_batch(self, items: Sequence[PredictJob]) -> List[MixPrediction]:
         """Heterogeneous predictor sweep: (spec, mix, machine) triples.

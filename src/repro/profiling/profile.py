@@ -17,7 +17,7 @@ simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -98,6 +98,90 @@ class ProfileWindow:
         return self.memory_cycles / self.llc_misses
 
 
+class ProfileWindowTable:
+    """Precomputed cumulative per-interval counter sums for window queries.
+
+    MPPM aggregates the profile over a window ``[I_p, I_p + N_p)``
+    every iteration; with exclusive prefix sums of every per-interval
+    counter, any window is two gathered point evaluations and a
+    subtract (plus the whole-trace totals once per full wrap-around
+    pass).  Both MPPM kernels — the scalar reference loop through
+    :meth:`SingleCoreProfile.window` and the batched mix-major solver —
+    evaluate windows through this one table, so their float operations
+    are identical and the kernels stay bit-identical by construction.
+
+    The point evaluation ``P(x)`` (cumulative counters over ``[0, x)``)
+    locates the interval containing ``x`` and interpolates the partial
+    interval proportionally; a window starting at ``s`` (already
+    wrapped into the trace) of length ``n`` with ``e = s + n``,
+    ``q = floor(e / L)`` full passes and remainder ``r = e - q*L`` then
+    aggregates to ``(P(r) - P(s)) + q * totals``.
+    """
+
+    #: Column layout of :attr:`values` / :attr:`prefix` / window rows:
+    #: the five scalar counters, then the A+1 stack-distance counters.
+    COL_INSTRUCTIONS = 0
+    COL_CYCLES = 1
+    COL_MEMORY_CYCLES = 2
+    COL_LLC_ACCESSES = 3
+    COL_LLC_MISSES = 4
+    SDC_OFFSET = 5
+
+    def __init__(self, profile: "SingleCoreProfile") -> None:
+        intervals = profile.intervals
+        sdc = np.stack([interval.sdc.counts for interval in intervals]).astype(np.float64)
+        #: Per-interval counter matrix, one row per interval.
+        self.values = np.column_stack(
+            [
+                np.array([interval.instructions for interval in intervals], dtype=np.float64),
+                np.array([interval.cycles for interval in intervals], dtype=np.float64),
+                np.array([interval.memory_cycles for interval in intervals], dtype=np.float64),
+                np.array([interval.llc_accesses for interval in intervals], dtype=np.float64),
+                np.array([interval.llc_misses for interval in intervals], dtype=np.float64),
+                sdc,
+            ]
+        )
+        #: Exclusive prefix sums: ``prefix[i]`` = counters over intervals < i.
+        self.prefix = np.vstack(
+            [np.zeros((1, self.values.shape[1])), np.cumsum(self.values, axis=0)]
+        )
+        #: Whole-trace totals (the last prefix row).
+        self.totals = self.prefix[-1]
+        #: Instruction positions where each interval starts / ends.  The
+        #: interval lengths are integers, so these cumulative sums are
+        #: exact in float64 and partial-interval fractions land in [0, 1].
+        self.starts = self.prefix[:-1, self.COL_INSTRUCTIONS]
+        self.boundaries = self.prefix[1:, self.COL_INSTRUCTIONS]
+        self.instructions = self.values[:, self.COL_INSTRUCTIONS]
+        self.trace_length = float(profile.num_instructions)
+
+    def point(self, positions: np.ndarray) -> np.ndarray:
+        """``P(x)``: cumulative counters over ``[0, x)`` for ``x`` in [0, L]."""
+        index = np.minimum(
+            np.searchsorted(self.boundaries, positions, side="right"),
+            len(self.instructions) - 1,
+        )
+        fraction = (positions - self.starts[index]) / self.instructions[index]
+        return self.prefix[index] + fraction[..., None] * self.values[index]
+
+    def windows(self, start_instructions: np.ndarray, num_instructions: np.ndarray) -> np.ndarray:
+        """Aggregate counters over ``[start, start + n)`` windows.
+
+        Starts wrap around the end of the trace and windows may span
+        the wrap-around point any number of times.  Accepts scalars or
+        arrays (broadcast together); returns rows in the column layout
+        above, with one extra leading axis per input axis.
+        """
+        length = self.trace_length
+        start = np.mod(np.asarray(start_instructions, dtype=np.float64), length)
+        end = start + np.asarray(num_instructions, dtype=np.float64)
+        full_passes = np.floor(end / length)
+        remainder = np.minimum(np.maximum(end - full_passes * length, 0.0), length)
+        return (self.point(remainder) - self.point(start)) + full_passes[
+            ..., None
+        ] * self.totals
+
+
 class SingleCoreProfile:
     """Per-benchmark single-core profile on a given machine."""
 
@@ -131,6 +215,7 @@ class SingleCoreProfile:
 
         # Precomputed cumulative instruction boundaries for window lookups.
         self._boundaries = np.cumsum([interval.instructions for interval in self.intervals])
+        self._window_table: Optional[ProfileWindowTable] = None
 
     # ------------------------------------------------------------------
     # Whole-trace aggregates
@@ -186,60 +271,37 @@ class SingleCoreProfile:
     # Window aggregation (the operation MPPM performs every iteration)
     # ------------------------------------------------------------------
 
+    @property
+    def window_table(self) -> ProfileWindowTable:
+        """The profile's prefix-sum window table (built lazily, cached)."""
+        if self._window_table is None:
+            self._window_table = ProfileWindowTable(self)
+        return self._window_table
+
     def window(self, start_instruction: float, num_instructions: float) -> ProfileWindow:
         """Aggregate the profile over ``[start, start + num_instructions)``.
 
         The start position wraps around the end of the trace (MPPM lets
         fast programs iterate over their trace more than once), and the
         window itself may span the wrap-around point.  Partial
-        intervals contribute proportionally.
+        intervals contribute proportionally.  The aggregation goes
+        through :class:`ProfileWindowTable` — the same float operations
+        the batched MPPM kernel applies to whole arrays of windows.
         """
         if num_instructions <= 0:
             raise ProfileError(f"window length must be positive, got {num_instructions}")
-        trace_length = self.num_instructions
-        start = float(start_instruction) % trace_length
-
-        remaining = float(num_instructions)
-        position = start
-        instructions = 0.0
-        cycles = 0.0
-        memory_cycles = 0.0
-        llc_accesses = 0.0
-        llc_misses = 0.0
-        sdc_counts = np.zeros(self.llc_associativity + 1, dtype=np.float64)
-
-        # Guard against pathological window lengths that would loop forever.
-        max_passes = int(np.ceil(num_instructions / trace_length)) + 2
-        passes = 0
-        while remaining > 1e-9:
-            if position >= trace_length - 1e-9:
-                position = 0.0
-                passes += 1
-                if passes > max_passes:
-                    raise ProfileError("window aggregation failed to terminate")
-            interval_index = int(np.searchsorted(self._boundaries, position, side="right"))
-            interval = self.intervals[interval_index]
-            available = self._boundaries[interval_index] - position
-            take = min(available, remaining)
-            fraction = take / interval.instructions
-
-            instructions += take
-            cycles += interval.cycles * fraction
-            memory_cycles += interval.memory_cycles * fraction
-            llc_accesses += interval.llc_accesses * fraction
-            llc_misses += interval.llc_misses * fraction
-            sdc_counts += interval.sdc.counts * fraction
-
-            position += take
-            remaining -= take
-
+        table = self.window_table
+        row = table.windows(float(start_instruction), float(num_instructions))
         return ProfileWindow(
-            instructions=instructions,
-            cycles=cycles,
-            memory_cycles=memory_cycles,
-            llc_accesses=llc_accesses,
-            llc_misses=llc_misses,
-            sdc=StackDistanceCounters(associativity=self.llc_associativity, counts=sdc_counts),
+            instructions=float(row[ProfileWindowTable.COL_INSTRUCTIONS]),
+            cycles=float(row[ProfileWindowTable.COL_CYCLES]),
+            memory_cycles=float(row[ProfileWindowTable.COL_MEMORY_CYCLES]),
+            llc_accesses=float(row[ProfileWindowTable.COL_LLC_ACCESSES]),
+            llc_misses=float(row[ProfileWindowTable.COL_LLC_MISSES]),
+            sdc=StackDistanceCounters(
+                associativity=self.llc_associativity,
+                counts=row[ProfileWindowTable.SDC_OFFSET :].copy(),
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -373,21 +373,29 @@ class PredictionService:
     def _run_batch(self, ops: Sequence[PredictOp]) -> List:
         """Execute one coalesced batch (runs on the single worker thread).
 
-        Ops are grouped by workload setup (each group becomes one engine
-        job graph via ``predictor_batch``) and results are reassembled
-        in submission order.  Compute accounting is by result-cache
-        store delta: entries the engine had to create during this batch
-        are computed work, everything else was memoised.
+        Ops are grouped by (workload setup, predictor) — each group
+        becomes one engine job graph via ``predictor_batch``, so a
+        homogeneous ``mppm:*`` group rides the batched solver as one
+        mix-major pass — and results are reassembled in submission
+        order.  Each group's size and wall-clock solve time feed the
+        per-predictor ``/stats`` counters.  Compute accounting is by
+        result-cache store delta: entries the engine had to create
+        during this batch are computed work, everything else was
+        memoised.
         """
         stores_before = self.engine.cache_stats()["stores"]
-        groups: Dict[str, List[int]] = {}
+        groups: Dict[Tuple[str, str], List[int]] = {}
         for index, op in enumerate(ops):
-            groups.setdefault(op.setup.workload_spec, []).append(index)
+            groups.setdefault((op.setup.workload_spec, op.predictor), []).append(index)
         results: List = [None] * len(ops)
-        for indices in groups.values():
+        for (_, predictor), indices in groups.items():
             setup = ops[indices[0]].setup
+            started = time.perf_counter()
             predictions = setup.predictor_batch(
-                [(ops[i].predictor, ops[i].mix, ops[i].machine) for i in indices]
+                [(predictor, ops[i].mix, ops[i].machine) for i in indices]
+            )
+            self.stats.record_predictor_batch(
+                predictor, len(indices), time.perf_counter() - started
             )
             for index, prediction in zip(indices, predictions):
                 results[index] = prediction

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.core import MPPM_KERNELS
 from repro.core.result import MixPrediction
 from repro.predictors import DEFAULT_PREDICTOR, describe_predictors
 from repro.workloads import (
@@ -23,9 +24,15 @@ from repro.workloads import (
 
 
 def models_payload() -> Dict:
-    """The predictor registry: ``{"default": ..., "predictors": [...]}``."""
+    """The predictor registry: ``{"default": ..., "predictors": [...]}``.
+
+    ``mppm_kernels`` names the solver kernels every ``mppm:*`` entry can
+    run on; the default is the batched mix-major kernel, and each served
+    prediction's ``kernel`` field records which one produced it.
+    """
     return {
         "default": DEFAULT_PREDICTOR,
+        "mppm_kernels": {"default": "batched", "available": list(MPPM_KERNELS)},
         "predictors": [
             {"spec": spec, "description": description}
             for spec, description in describe_predictors()

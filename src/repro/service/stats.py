@@ -64,6 +64,10 @@ class ServiceStats:
         self.batches = 0
         self.batch_items = 0
         self.max_batch_size = 0
+        #: Per-predictor solve counters: spec -> batches/items/max_size
+        #: and cumulative solve time (seconds, wall clock of the engine
+        #: run for that predictor's slice of each coalesced batch).
+        self.predictor_batches: Dict[str, Dict[str, float]] = {}
         self.latency = LatencyTracker()
 
     def record_request(self, endpoint: str) -> None:
@@ -73,6 +77,15 @@ class ServiceStats:
         self.batches += 1
         self.batch_items += size
         self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_predictor_batch(self, predictor: str, size: int, seconds: float) -> None:
+        entry = self.predictor_batches.setdefault(
+            predictor, {"batches": 0, "items": 0, "max_size": 0, "solve_seconds": 0.0}
+        )
+        entry["batches"] += 1
+        entry["items"] += size
+        entry["max_size"] = max(entry["max_size"], size)
+        entry["solve_seconds"] += seconds
 
     def uptime_seconds(self) -> float:
         return time.monotonic() - self.started
@@ -92,6 +105,18 @@ class ServiceStats:
                 "items": self.batch_items,
                 "max_size": self.max_batch_size,
                 "mean_size": self.batch_items / self.batches if self.batches else 0.0,
+            },
+            "predictors": {
+                spec: {
+                    "batches": entry["batches"],
+                    "items": entry["items"],
+                    "max_size": entry["max_size"],
+                    "mean_size": entry["items"] / entry["batches"]
+                    if entry["batches"]
+                    else 0.0,
+                    "solve_time_ms": entry["solve_seconds"] * 1000.0,
+                }
+                for spec, entry in sorted(self.predictor_batches.items())
             },
             "latency_ms": self.latency.summary(),
         }

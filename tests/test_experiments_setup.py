@@ -28,6 +28,7 @@ class TestExperimentConfig:
             dict(interval_instructions=0),
             dict(num_instructions=1_000, interval_instructions=300),
             dict(kernel="magic"),
+            dict(mppm_kernel="magic"),
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
@@ -100,3 +101,81 @@ class TestExperimentSetup:
     def test_default_setup_is_shared(self):
         assert default_setup() is default_setup()
         assert default_setup(seed=1) is not default_setup(seed=0)
+
+
+class TestBatchedMppmSweeps:
+    """The batched solver path through ``predict_batch`` is invisible:
+    bit-identical results, per-op cache entries, shared dedup objects."""
+
+    MPPM_SPECS = ("mppm:foa", "mppm:sdc", "mppm:prob", "mppm:windowed", "mppm:figure2")
+
+    @staticmethod
+    def _setup(mppm_kernel, **kwargs):
+        return ExperimentSetup(
+            config=ExperimentConfig(
+                scale=16,
+                num_instructions=30_000,
+                interval_instructions=1_000,
+                mppm_kernel=mppm_kernel,
+            ),
+            suite=small_suite(6),
+            **kwargs,
+        )
+
+    def test_default_kernel_is_batched(self):
+        assert ExperimentConfig().mppm_kernel == "batched"
+
+    def test_batched_sweep_matches_reference_bitwise(self):
+        batched_setup = self._setup("batched")
+        reference_setup = self._setup("reference")
+        machine = batched_setup.machine(num_cores=2)
+        pairs = [
+            (mix, machine) for mix in batched_setup.mixes(num_programs=2, num_mixes=4)
+        ]
+        for spec in self.MPPM_SPECS:
+            batched = batched_setup.predict_batch(pairs, predictor=spec)
+            reference = reference_setup.predict_batch(pairs, predictor=spec)
+            assert [p.kernel for p in batched] == ["batched"] * len(pairs)
+            assert [p.kernel for p in reference] == ["reference"] * len(pairs)
+            for fast, slow in zip(batched, reference):
+                assert fast.iterations == slow.iterations
+                assert fast.converged == slow.converged
+                # Exact equality on purpose: the kernels share op order.
+                assert [p.predicted_cpi for p in fast.programs] == [
+                    p.predicted_cpi for p in slow.programs
+                ]
+
+    def test_duplicate_ops_share_one_prediction_object(self):
+        setup = self._setup("batched")
+        machine = setup.machine(num_cores=2)
+        mix = WorkloadMix(programs=tuple(setup.benchmark_names[:2]))
+        other = WorkloadMix(programs=tuple(setup.benchmark_names[2:4]))
+        results = setup.predict_batch(
+            [(mix, machine), (other, machine), (mix, machine)], predictor="mppm:foa"
+        )
+        assert results[0] is results[2]
+        assert results[0] is not results[1]
+
+    def test_batch_path_populates_per_op_cache_entries(self, tmp_path):
+        setup = self._setup("batched", cache_dir=tmp_path)
+        machine = setup.machine(num_cores=2)
+        pairs = [(mix, machine) for mix in setup.mixes(num_programs=2, num_mixes=3)]
+        pairs.append(pairs[0])  # duplicate op: one store, two results
+        first = setup.predict_batch(pairs, predictor="mppm:sdc")
+        stats = setup.engine.cache_stats()
+        predict_stores = 3  # unique (mix, machine) ops, not batch jobs
+        assert stats["stores"] >= predict_stores
+
+        # A fresh setup over the same cache directory answers every op
+        # from the per-op cache entries the batch job scattered out.
+        rerun_setup = self._setup("batched", cache_dir=tmp_path)
+        rerun_machine = rerun_setup.machine(num_cores=2)
+        rerun_pairs = [(mix, rerun_machine) for mix, _ in pairs]
+        before = rerun_setup.engine.cache_stats()
+        rerun = rerun_setup.predict_batch(rerun_pairs, predictor="mppm:sdc")
+        after = rerun_setup.engine.cache_stats()
+        assert after["hits"] - before["hits"] >= predict_stores
+        for fresh, cached in zip(first, rerun):
+            assert [p.predicted_cpi for p in fresh.programs] == [
+                p.predicted_cpi for p in cached.programs
+            ]

@@ -20,6 +20,7 @@ from repro.service import (
     ServiceClient,
     ServiceClientError,
     ServiceConfig,
+    ServiceStats,
     ServiceThread,
 )
 from repro.service.http import HttpError, Request
@@ -94,6 +95,23 @@ class TestLatencyTracker:
             "p95": 0.0,
             "p99": 0.0,
         }
+
+
+class TestServiceStats:
+    def test_per_predictor_batches_accumulate(self):
+        stats = ServiceStats()
+        assert stats.snapshot()["predictors"] == {}
+        stats.record_predictor_batch("mppm:foa", size=3, seconds=0.25)
+        stats.record_predictor_batch("mppm:foa", size=1, seconds=0.05)
+        stats.record_predictor_batch("baseline:one-shot", size=2, seconds=0.01)
+        predictors = stats.snapshot()["predictors"]
+        assert list(predictors) == ["baseline:one-shot", "mppm:foa"]  # sorted
+        entry = predictors["mppm:foa"]
+        assert entry["batches"] == 2
+        assert entry["items"] == 4
+        assert entry["max_size"] == 3
+        assert entry["mean_size"] == 2.0
+        assert entry["solve_time_ms"] == pytest.approx(300.0)
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +394,21 @@ class TestBatchingAndCaching:
         served_before = live.service.stats.predictions_served
         call(live, lambda c: c.predict(mixes=[NAMES[:2], NAMES[1:3]]))
         assert live.service.stats.predictions_served == served_before + 2
+
+    def test_stats_report_per_predictor_solve_batches(self, live):
+        mixes = [[NAMES[0], NAMES[4]], [NAMES[1], NAMES[4]], [NAMES[3], NAMES[4]]]
+        response = call(live, lambda c: c.predict(mixes=mixes, predictor="mppm:foa"))
+        # Served predictions carry the solver kernel as provenance.
+        assert all(
+            prediction["kernel"] == "batched" for prediction in response["predictions"]
+        )
+        payload = call(live, lambda c: c.stats())
+        entry = payload["predictors"]["mppm:foa"]
+        assert entry["batches"] >= 1
+        assert entry["items"] >= len(mixes)
+        assert entry["max_size"] >= 1
+        assert entry["mean_size"] > 0
+        assert entry["solve_time_ms"] >= 0
 
 
 # ---------------------------------------------------------------------------
