@@ -1,7 +1,8 @@
 """Committed performance snapshots: ``BENCH_<name>.json`` at the repo root.
 
 Every standalone benchmark guard (``bench_singlecore_kernel.py``,
-``bench_trace_generation.py``, ``bench_service.py``) writes its
+``bench_trace_generation.py``, ``bench_mppm_batch.py``,
+``bench_multicore_interleave.py``, ``bench_service.py``) writes its
 measurement through :func:`write_snapshot`, so the repo carries a
 committed perf trajectory next to the code: a reviewer can diff
 ``BENCH_service.json`` across PRs the same way they diff test

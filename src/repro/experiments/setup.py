@@ -42,6 +42,7 @@ from repro.profiling import ProfileStore, SingleCoreProfile
 from repro.simulators import (
     KERNELS as SINGLE_CORE_KERNELS,
     LLCAccessTrace,
+    MULTI_CORE_KERNELS,
     MultiCoreRunResult,
     MultiCoreSimulator,
 )
@@ -90,6 +91,10 @@ class ExperimentConfig:
     #: MPPM solver kernel ("batched" or "reference"); bit-identical like
     #: the replay kernels, so — again — never part of a cache key.
     mppm_kernel: str = "batched"
+    #: Multi-core interleaving kernel ("chunked", "heap" or "scan");
+    #: bit-identical like the other kernel choices, so reference
+    #: simulations cached under one kernel stay valid for all.
+    multicore_kernel: str = "chunked"
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -101,6 +106,11 @@ class ExperimentConfig:
         if self.mppm_kernel not in MPPM_KERNELS:
             raise ValueError(
                 f"mppm_kernel must be one of {MPPM_KERNELS}, got {self.mppm_kernel!r}"
+            )
+        if self.multicore_kernel not in MULTI_CORE_KERNELS:
+            raise ValueError(
+                f"multicore_kernel must be one of {MULTI_CORE_KERNELS}, "
+                f"got {self.multicore_kernel!r}"
             )
         if self.num_instructions <= 0 or self.interval_instructions <= 0:
             raise ValueError("instruction counts must be positive")
@@ -320,7 +330,9 @@ class ExperimentSetup:
             return cached
         if machine.num_cores != mix.num_programs:
             machine = machine.with_num_cores(mix.num_programs)
-        result = MultiCoreSimulator(machine).run(self.llc_traces(mix, machine))
+        result = MultiCoreSimulator(
+            machine, kernel=self.config.multicore_kernel
+        ).run(self.llc_traces(mix, machine))
         self._reference_cache[key] = result
         return result
 
@@ -513,7 +525,11 @@ class ExperimentSetup:
             key = f"op:{i}"
             if key in results:
                 value = results[key]
-                out[i] = prediction_from_run(value) if spec == "detailed" else value
+                out[i] = (
+                    prediction_from_run(value, kernel=self.config.multicore_kernel)
+                    if spec == "detailed"
+                    else value
+                )
         return out
 
     def predictor_batch(self, items: Sequence[PredictJob]) -> List[MixPrediction]:
@@ -575,7 +591,10 @@ class ExperimentSetup:
             for index, spec in enumerate(model_specs)
         }
         if "detailed" in specs:
-            predicted_by_spec["detailed"] = [prediction_from_run(run) for run in measured]
+            predicted_by_spec["detailed"] = [
+                prediction_from_run(run, kernel=self.config.multicore_kernel)
+                for run in measured
+            ]
         evaluated: Dict[str, List[MixEvaluation]] = {}
         for spec in specs:
             evaluated[spec] = [

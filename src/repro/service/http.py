@@ -163,12 +163,14 @@ class HttpServer:
             headers[name.strip().lower()] = value.strip()
         if version.upper() == "HTTP/1.0" and "connection" not in headers:
             headers["connection"] = "close"
-        try:
-            content_length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise HttpError(400, "malformed Content-Length header") from None
-        if content_length < 0:
+        raw_length = headers.get("content-length", "0")
+        # Bare int() accepts surrounding whitespace, an optional sign
+        # and non-ASCII digits — all of which clients encode (and
+        # intermediaries interpret) inconsistently; RFC 9110 allows
+        # ASCII digits only, so anything else is a malformed header.
+        if not (raw_length.isascii() and raw_length.isdigit()):
             raise HttpError(400, "malformed Content-Length header")
+        content_length = int(raw_length)
         if content_length > MAX_BODY_BYTES:
             raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(content_length) if content_length else b""

@@ -23,6 +23,7 @@ from repro.simulators.single_core import (
     SingleCoreSimulator,
 )
 from repro.simulators.multi_core import (
+    MULTI_CORE_KERNELS,
     MultiCoreRunResult,
     MultiCoreSimulator,
     ProgramRunStats,
@@ -31,6 +32,7 @@ from repro.simulators.multi_core import (
 __all__ = [
     "KERNELS",
     "LLCAccessTrace",
+    "MULTI_CORE_KERNELS",
     "SingleCoreRunResult",
     "SingleCoreSimulator",
     "MultiCoreRunResult",

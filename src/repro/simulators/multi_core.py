@@ -12,6 +12,30 @@ Vera et al. (FAME): a program that finishes its trace before the
 slowest one restarts from the beginning so that contention pressure is
 maintained, and each program's multi-core CPI is measured over its
 *first* complete pass.
+
+Three kernels produce the interleaved walk:
+
+* ``"chunked"`` (the default) advances all cores in numpy chunks: each
+  core's next-K access times are estimated under its expected CPI (its
+  measured hit rate so far, plus the exact penalties of any accesses
+  rolled back from the previous round), the K-way merge of those
+  estimates proposes a global order, the
+  proposed order is replayed against a batched per-set LRU
+  (:func:`repro.caches.vectorized.stack_distances`, seeded with the
+  LLC's live recency state), and the exact ready times implied by the
+  replayed outcomes are re-sorted to detect order violations — only
+  the provably correct prefix commits, the rest rolls back and the
+  next round re-speculates from the exact times.  Bit-identical to the
+  reference by construction (see :meth:`MultiCoreSimulator._run_chunked`).
+* ``"heap"`` keeps the per-core ready times in a binary heap — the
+  per-access reference loop, kept as ground truth.
+* ``"scan"`` is the straightforward O(num_cores) linear minimum scan,
+  retained for the ready-queue benchmark guard.
+
+All three break ready-time ties by core index and share one result
+assembly, so they are bit-identical — asserted by the equivalence
+matrix in the test suite and guarded by
+``benchmarks/bench_multicore_interleave.py``.
 """
 
 from __future__ import annotations
@@ -21,10 +45,31 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.caches.set_associative import SetAssociativeCache
+from repro.caches.vectorized import stack_distances
 from repro.config.machine import MachineConfig
 from repro.cores.core_model import CoreTimingModel
 from repro.simulators.llc_trace import LLCAccessTrace
+
+#: The interleaving kernels ``MultiCoreSimulator`` can use.  ``heap``
+#: and ``scan`` are the per-access reference loops (binary heap vs
+#: linear minimum scan over the ready times); ``chunked`` is the
+#: vectorized merge-and-rollback walk.  All three are bit-identical.
+MULTI_CORE_KERNELS = ("chunked", "heap", "scan")
+
+#: Chunked-kernel window sizing: accesses speculated per core per round.
+#: The window adapts between the bounds — doubling while rounds commit
+#: fully, halving when speculation rolls most of a round back.
+_MIN_CHUNK = 64
+_INITIAL_CHUNK = 1_024
+_MAX_CHUNK = 4_096
+#: How many times a round refines its speculative order (the first
+#: attempt orders by estimated ready times, later attempts re-sort by
+#: the exact ready times of the previous attempt's outcomes) before
+#: committing the longest validated prefix.
+_ORDER_ATTEMPTS = 2
 
 
 class MultiCoreSimulationError(ValueError):
@@ -76,12 +121,49 @@ class MultiCoreRunResult:
     total_llc_accesses: int
     total_llc_misses: int
 
-    def program(self, name: str) -> ProgramRunStats:
-        """Stats of the first program with the given name."""
-        for stats in self.programs:
-            if stats.name == name:
-                return stats
-        raise KeyError(f"no program named {name!r} in this run")
+    def __post_init__(self) -> None:
+        # Guard both fresh constructions and deserialised payloads: a
+        # result whose program list disagrees with its core count would
+        # silently produce nonsense STP/ANTT (both average over the
+        # program list).
+        if self.num_cores <= 0:
+            raise MultiCoreSimulationError(
+                f"num_cores must be positive, got {self.num_cores}"
+            )
+        if len(self.programs) != self.num_cores:
+            raise MultiCoreSimulationError(
+                f"run result claims {self.num_cores} cores but carries "
+                f"{len(self.programs)} programs"
+            )
+        cores = sorted(stats.core for stats in self.programs)
+        if cores != list(range(self.num_cores)):
+            raise MultiCoreSimulationError(
+                f"program core indices must be exactly 0..{self.num_cores - 1}, "
+                f"got {cores}"
+            )
+
+    def program(self, name: str, core: Optional[int] = None) -> ProgramRunStats:
+        """Stats of the program with the given name (and core, if given).
+
+        A bare name is ambiguous in mixes that run several copies of
+        one benchmark; pass ``core=`` to pick a specific copy.  An
+        ambiguous name-only lookup raises instead of silently returning
+        the first copy.
+        """
+        matches = [stats for stats in self.programs if stats.name == name]
+        if core is not None:
+            for stats in matches:
+                if stats.core == core:
+                    return stats
+            raise KeyError(f"no program named {name!r} on core {core} in this run")
+        if not matches:
+            raise KeyError(f"no program named {name!r} in this run")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} programs named {name!r} in this run (cores "
+                f"{[stats.core for stats in matches]}); pass core= to disambiguate"
+            )
+        return matches[0]
 
     @property
     def per_program_cpi(self) -> Dict[int, float]:
@@ -131,7 +213,13 @@ class MultiCoreRunResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "MultiCoreRunResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Inconsistent payloads — a program list that disagrees with the
+        core count, or out-of-range core indices — are rejected here
+        (via ``__post_init__``) rather than round-tripped into results
+        whose STP/ANTT silently average over the wrong program count.
+        """
         programs = [
             ProgramRunStats(
                 name=entry["name"],
@@ -167,35 +255,119 @@ class MultiCoreRunResult:
 _CORE_ADDRESS_OFFSET = (1 << 30) + 12_347
 
 
+def _resident_stacks(stream: np.ndarray, num_sets: int, associativity: int) -> np.ndarray:
+    """Recency state of a cold-started LRU cache after replaying ``stream``.
+
+    Returns the resident lines, grouped by set, each set's lines in
+    LRU→MRU order — exactly the warm-up stream that, prepended to the
+    next chunk, makes :func:`stack_distances` see the chunk with the
+    correct live stack depths.  Evicted lines (per-set recency rank
+    beyond the associativity) are dropped: their next access misses
+    either way, and re-inserting them perturbs nobody above them.
+    """
+    n = len(stream)
+    if n == 0:
+        return stream
+    position = np.arange(n, dtype=np.int64)
+    by_line = np.lexsort((position, stream))
+    ordered = stream[by_line]
+    last = np.empty(n, dtype=bool)
+    last[:-1] = ordered[1:] != ordered[:-1]
+    last[-1] = True
+    resident = ordered[last]
+    last_position = by_line[last]
+    sets = resident % num_sets
+    by_set = np.lexsort((last_position, sets))
+    sets_sorted = sets[by_set]
+    m = len(sets_sorted)
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sets_sorted[1:] != sets_sorted[:-1]
+    group = np.cumsum(boundary) - 1
+    starts = np.flatnonzero(boundary)
+    sizes = np.diff(np.append(starts, m))
+    rank = np.arange(m) - starts[group]
+    keep = rank >= sizes[group] - associativity
+    return resident[by_set][keep]
+
+
 class MultiCoreSimulator:
     """Shared-LLC simulation of a multi-program workload mix.
 
-    ``ready_queue`` selects how the next LLC access in global time
-    order is found: ``"heap"`` (the default) keeps the per-core ready
-    times in a binary heap, which costs O(log num_cores) per access;
-    ``"scan"`` is the straightforward O(num_cores) linear minimum scan,
-    kept as the reference implementation for equivalence tests and the
-    ready-queue benchmark guard.  Both orderings break ties by core
-    index, so the two variants are bit-identical.
+    ``kernel`` selects the interleaving walk: ``"chunked"`` (the
+    default) vectorizes it in speculative merge-and-rollback rounds;
+    ``"heap"`` and ``"scan"`` are the per-access reference loops (see
+    the module docstring).  All kernels are bit-identical.  The legacy
+    ``ready_queue`` parameter still selects between the two reference
+    loops.  The chunked kernel requires the LRU replacement policy (its
+    batched replay rests on the LRU stack property); with another
+    policy the default silently stays on the reference loop, and asking
+    for ``"chunked"`` explicitly is an error.
     """
 
     def __init__(
-        self, machine: MachineConfig, llc_policy: str = "lru", ready_queue: str = "heap"
+        self,
+        machine: MachineConfig,
+        llc_policy: str = "lru",
+        kernel: Optional[str] = None,
+        ready_queue: Optional[str] = None,
     ) -> None:
-        if ready_queue not in ("heap", "scan"):
-            raise MultiCoreSimulationError("ready_queue must be 'heap' or 'scan'")
+        if ready_queue is not None:
+            if ready_queue not in ("heap", "scan"):
+                raise MultiCoreSimulationError("ready_queue must be 'heap' or 'scan'")
+            if kernel is not None and kernel != ready_queue:
+                raise MultiCoreSimulationError(
+                    f"kernel {kernel!r} contradicts ready_queue {ready_queue!r}; "
+                    "pass one or the other"
+                )
+            kernel = ready_queue
+        lru = isinstance(llc_policy, str) and llc_policy.lower() == "lru"
+        if kernel is None:
+            kernel = "chunked" if lru else "heap"
+        if kernel not in MULTI_CORE_KERNELS:
+            raise MultiCoreSimulationError(
+                f"kernel must be one of {MULTI_CORE_KERNELS}, got {kernel!r}"
+            )
+        if kernel == "chunked" and not lru:
+            raise MultiCoreSimulationError(
+                "the chunked kernel requires the LRU replacement policy; "
+                "use kernel='heap' or 'scan' for other policies"
+            )
         self.machine = machine
         self.llc_policy = llc_policy
-        self.ready_queue = ready_queue
+        self.kernel = kernel
 
-    def run(self, llc_traces: Sequence[LLCAccessTrace]) -> MultiCoreRunResult:
-        """Simulate one workload mix (one LLC trace per core)."""
+    def run(
+        self, llc_traces: Sequence[LLCAccessTrace], kernel: Optional[str] = None
+    ) -> MultiCoreRunResult:
+        """Simulate one workload mix (one LLC trace per core).
+
+        ``kernel`` overrides the simulator's interleaving kernel for
+        this run only.
+        """
         machine = self.machine
         if len(llc_traces) != machine.num_cores:
             raise MultiCoreSimulationError(
                 f"machine has {machine.num_cores} cores but {len(llc_traces)} programs were given"
             )
+        if kernel is None:
+            kernel = self.kernel
+        elif kernel not in MULTI_CORE_KERNELS:
+            raise MultiCoreSimulationError(
+                f"kernel must be one of {MULTI_CORE_KERNELS}, got {kernel!r}"
+            )
+        if kernel == "chunked":
+            return self._run_chunked(llc_traces)
+        return self._run_reference(llc_traces, use_heap=kernel == "heap")
 
+    # ------------------------------------------------------------------
+    # Reference kernels: one access at a time
+    # ------------------------------------------------------------------
+
+    def _run_reference(
+        self, llc_traces: Sequence[LLCAccessTrace], use_heap: bool
+    ) -> MultiCoreRunResult:
+        machine = self.machine
         shared_llc = SetAssociativeCache(machine.llc, policy=self.llc_policy)
         num_cores = machine.num_cores
 
@@ -220,7 +392,6 @@ class MultiCoreSimulator:
         tails = [trace.tail_cycles for trace in llc_traces]
 
         unfinished = num_cores
-        use_heap = self.ready_queue == "heap"
         if use_heap:
             # (ready time, core): the tuple ordering reproduces the
             # scan's tie-break by lowest core index.
@@ -273,6 +444,392 @@ class MultiCoreSimulator:
             if use_heap and unfinished:
                 heapq.heappush(ready_heap, (cycle[core] + gaps[core][index[core]], core))
 
+        return self._assemble(
+            llc_traces,
+            first_pass_cycles,
+            passes,
+            accesses_first,
+            hits_first,
+            misses_first,
+            total_accesses,
+            total_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Chunked kernel: speculative vectorized merge with rollback
+    # ------------------------------------------------------------------
+
+    def _run_chunked(self, llc_traces: Sequence[LLCAccessTrace]) -> MultiCoreRunResult:
+        """Advance all cores in numpy chunks; commit only validated prefixes.
+
+        Each round takes a window of up to K next accesses per core
+        (never crossing the core's trace end, so FAME wraparound only
+        happens at window boundaries) and
+
+        1. proposes a global order by merging per-core ready-time
+           estimates — first under each core's expected penalty
+           (measured hit rate, with the exact penalties of accesses
+           rolled back from the previous round carried in front), then,
+           if the proposal is refuted, under the exact times computed
+           from the previous attempt's outcomes;
+        2. replays the proposed order against the shared LLC in one
+           batched per-set stack-distance pass, seeded with the LLC's
+           live recency stacks as a warm-up prefix;
+        3. recomputes every access's *exact* ready time from those
+           outcomes with the reference's own operation order (an
+           interleaved ``cumsum`` reproduces ``(ready + penalty) + gap``
+           addition for addition), and re-sorts by (ready, core, index).
+
+        Where the re-sorted true order agrees with the proposal, the
+        outcomes — which only depend on the preceding access sequence —
+        are provably the reference's, so that prefix commits; the first
+        disagreement and everything after it rolls back.  Two further
+        cuts keep the prefix honest: accesses ordered at or after a
+        core's first *out-of-window* ready time cannot commit (that
+        core's next access might interleave first), and the round stops
+        exactly where the last first-pass wraparound would stop the
+        reference loop.  Progress is unconditional: estimates are exact
+        for each core's first window access (no penalty enters before
+        it) and nondecreasing within a core, so every proposal's
+        leading access is the true earliest (ready, core) head — the
+        prefix never validates empty.
+        """
+        machine = self.machine
+        num_cores = machine.num_cores
+        num_sets = machine.llc.num_sets
+        associativity = machine.llc.associativity
+
+        core_models = [CoreTimingModel(machine, trace.spec) for trace in llc_traces]
+        hit_penalty = np.array([model.llc_hit_penalty for model in core_models])
+        miss_penalty = np.array([model.memory_penalty for model in core_models])
+        # Cold-start expected penalty, used only until a core has a
+        # measured hit rate; min() rather than the hit penalty so the
+        # seed stays sane even for exotic machines whose hit penalty
+        # exceeds the miss penalty.
+        optimistic_penalty = np.minimum(hit_penalty, miss_penalty)
+
+        gaps = [np.asarray(trace.upstream_cycle_gap, dtype=np.float64) for trace in llc_traces]
+        # Prefix sums of the gaps, computed once per core: window
+        # estimates re-derive their local cumsum as a difference instead
+        # of re-summing the same slice on every rollback round.
+        gap_cum = [np.cumsum(g) for g in gaps]
+        lines = [
+            np.asarray(trace.line, dtype=np.int64) + core * _CORE_ADDRESS_OFFSET
+            for core, trace in enumerate(llc_traces)
+        ]
+        lengths = [trace.num_llc_accesses for trace in llc_traces]
+        tails = [trace.tail_cycles for trace in llc_traces]
+
+        index = [0] * num_cores
+        cycle = [0.0] * num_cores
+        first_pass_cycles: List[Optional[float]] = [None] * num_cores
+        passes = [0] * num_cores
+        accesses_first = [0] * num_cores
+        hits_first = [0] * num_cores
+        misses_first = [0] * num_cores
+        total_accesses = 0
+        total_misses = 0
+        unfinished = num_cores
+
+        # Running all-pass per-core totals and the rolled-back tail of
+        # the previous round's speculative penalties: only used to
+        # estimate ready times when sizing and ordering the next window
+        # (never for the committed results, which come from the exact
+        # replay).
+        accesses_all = [0] * num_cores
+        hits_all = [0] * num_cores
+        carried = [np.empty(0, dtype=np.float64) for _ in range(num_cores)]
+
+        #: The shared LLC's recency stacks, as a warm-up access stream.
+        warm = np.empty(0, dtype=np.int64)
+        chunk = _INITIAL_CHUNK
+
+        while unfinished:
+            windows = [min(chunk, lengths[core] - index[core]) for core in range(num_cores)]
+            # Estimated ready time of each window access under the core's
+            # *expected* penalty (its measured hit rate so far).  Two
+            # uses: trimming the windows to a common time horizon, and
+            # proposing the round's global order.  Estimates are exact
+            # for each core's first access (no penalty enters before it)
+            # and nondecreasing within a core, which is all the progress
+            # guarantee below needs.
+            estimates = []
+            for core in range(num_cores):
+                w = windows[core]
+                start = index[core]
+                window_cum = gap_cum[core][start : start + w]
+                if start:
+                    window_cum = window_cum - gap_cum[core][start - 1]
+                if accesses_all[core]:
+                    hit_rate = hits_all[core] / accesses_all[core]
+                    expected = hit_rate * hit_penalty[core] + (1.0 - hit_rate) * miss_penalty[core]
+                else:
+                    expected = optimistic_penalty[core]
+                expected_pen = np.full(w, expected)
+                tail = carried[core][:w]
+                expected_pen[: len(tail)] = tail
+                # ready_est[j] = cycle + gaps[0..j] + penalties[0..j-1]:
+                # exact for j = 0, whatever the penalty estimates.
+                estimates.append(
+                    cycle[core]
+                    + window_cum
+                    + np.concatenate(([0.0], np.cumsum(expected_pen[:-1])))
+                )
+            if num_cores > 1:
+                # Equalize the *time* the windows cover: programs differ
+                # wildly in cycles-per-LLC-access, and any access ordered
+                # after the earliest-exhausted core's horizon rolls back
+                # anyway.  Trim every window to the smallest estimated
+                # end time among the chunk-limited cores (pass-limited
+                # windows end in a wraparound and continue next round, so
+                # they do not bound the horizon).
+                limited = [core for core in range(num_cores) if windows[core] == chunk]
+                if limited:
+                    span = min(float(estimates[core][-1]) for core in limited)
+                    windows = [
+                        max(
+                            1,
+                            int(np.searchsorted(estimates[core], span, side="right")),
+                        )
+                        for core in range(num_cores)
+                    ]
+                    estimates = [
+                        estimates[core][: windows[core]] for core in range(num_cores)
+                    ]
+            wraps = [index[core] + windows[core] == lengths[core] for core in range(num_cores)]
+            offsets = np.concatenate(([0], np.cumsum(windows)))
+            n = int(offsets[-1])
+            merged_lines = np.concatenate(
+                [lines[core][index[core] : index[core] + windows[core]] for core in range(num_cores)]
+            )
+            window_gaps = [
+                gaps[core][index[core] : index[core] + windows[core]] for core in range(num_cores)
+            ]
+            core_id = np.repeat(np.arange(num_cores), windows)
+            jpos = np.concatenate([np.arange(w, dtype=np.int64) for w in windows])
+
+            def exact_times(penalties):
+                """Per-access ready times under given per-access penalties.
+
+                Reproduces the reference's float operation order exactly:
+                the interleaved per-core array [cycle, gap0, pen0, gap1,
+                pen1, ..., tail?] makes ``cumsum``'s left fold perform the
+                same sequence of binary additions as the sequential
+                ``ready = cycle + gap; cycle = ready + penalty`` loop.
+                """
+                ready = np.empty(n, dtype=np.float64)
+                cumsums = []
+                for core in range(num_cores):
+                    w = windows[core]
+                    arr = np.empty(1 + 2 * w + (1 if wraps[core] else 0))
+                    arr[0] = cycle[core]
+                    arr[1 : 1 + 2 * w : 2] = window_gaps[core]
+                    arr[2 : 2 + 2 * w : 2] = penalties[offsets[core] : offsets[core] + w]
+                    if wraps[core]:
+                        arr[-1] = tails[core]
+                    cs = np.cumsum(arr)
+                    ready[offsets[core] : offsets[core] + w] = cs[1 : 1 + 2 * w : 2]
+                    cumsums.append(cs)
+                return ready, cumsums
+
+            # Propose a global order from the estimates; refine with the
+            # exact times of the replayed outcomes until the validated
+            # prefix stops growing.  The validated prefix IS the true
+            # interleaving (see below), so refinements freeze it and
+            # re-sort/replay only the suffix — against an intra-round
+            # warm state advanced past the frozen part.  Progress is
+            # unconditional: each core's first window access has an
+            # exact estimate, and the per-core estimate/ready sequences
+            # are both nondecreasing, so every proposal's leading access
+            # is the true earliest (ready, core) head — the prefix
+            # never validates empty.
+            order = np.lexsort((jpos, core_id, np.concatenate(estimates)))
+            # Round-level buffers, updated only past the frozen prefix
+            # on refinement attempts (prefix entries cannot change: the
+            # stream prefix is fixed, and a prefix access's ready time
+            # only depends on its own core's prefix penalties).
+            hit_in_order = np.empty(n, dtype=bool)
+            core_in_order = np.empty(n, dtype=np.int64)
+            ready_in_order = np.empty(n, dtype=np.float64)
+            penalties = np.empty(n, dtype=np.float64)
+            positions = np.arange(n, dtype=np.int64)
+            warm_attempt = warm
+            frozen = 0
+            best = None
+            for attempt in range(_ORDER_ATTEMPTS):
+                suffix = order[frozen:]
+                distances = stack_distances(
+                    np.concatenate((warm_attempt, merged_lines[suffix])),
+                    num_sets,
+                )[len(warm_attempt) :]
+                hit_in_order[frozen:] = (distances > 0) & (distances <= associativity)
+                core_in_order[frozen:] = core_id[suffix]
+                penalties[suffix] = np.where(
+                    hit_in_order[frozen:],
+                    hit_penalty[core_in_order[frozen:]],
+                    miss_penalty[core_in_order[frozen:]],
+                )
+                ready, cumsums = exact_times(penalties)
+                ready_in_order[frozen:] = ready[suffix]
+                resort = suffix[
+                    np.lexsort((jpos[suffix], core_id[suffix], ready[suffix]))
+                ]
+                differs = suffix != resort
+                agreed = n if not differs.any() else frozen + int(differs.argmax())
+
+                # Horizon cut: once all of a core's window accesses have
+                # been consumed, its true head lies beyond the window at
+                # exactly the ready time the reference would push next
+                # (known, because the whole window is inside the
+                # validated prefix); later accesses may only commit if
+                # they still precede that head in (ready, core) order.
+                commit = agreed
+                last_position = np.empty(num_cores, dtype=np.int64)
+                last_position[core_in_order] = positions  # last write wins
+                for core in range(num_cores):
+                    last = last_position[core]
+                    if last >= commit:
+                        continue
+                    after = cumsums[core][-1]
+                    next_gap = (
+                        gaps[core][0] if wraps[core] else gaps[core][index[core] + windows[core]]
+                    )
+                    horizon = after + next_gap
+                    region_ready = ready_in_order[last + 1 : commit]
+                    region_core = core_in_order[last + 1 : commit]
+                    violating = np.flatnonzero(
+                        (region_ready > horizon)
+                        | ((region_ready == horizon) & (region_core > core))
+                    )
+                    if len(violating):
+                        commit = last + 1 + int(violating[0])
+
+                # Termination cut: the reference stops the moment the
+                # last first-pass core wraps around; accesses ordered
+                # after that wraparound are never processed.
+                finishing = sorted(
+                    last_position[core]
+                    for core in range(num_cores)
+                    if wraps[core] and first_pass_cycles[core] is None
+                )
+                remaining = unfinished
+                for position in finishing:
+                    if position >= commit:
+                        break
+                    remaining -= 1
+                    if remaining == 0:
+                        commit = position + 1
+                        break
+
+                if best is None or commit > best[0]:
+                    # Later attempts never touch positions below their
+                    # frozen prefix (>= this commit), so the references
+                    # stored here stay valid without copies.
+                    best = (commit, order, hit_in_order, core_in_order, cumsums, penalties)
+                if commit == n or commit < agreed:
+                    # Fully committed, or bound by a cut that another
+                    # ordering attempt cannot lift.
+                    break
+                # Re-speculate the suffix: keep the validated prefix,
+                # re-sort the rest by the exact times the previous
+                # outcomes imply (usually the fixed point of the round),
+                # and advance the intra-round warm state so the next
+                # replay starts where the frozen prefix ends.
+                if attempt + 1 == _ORDER_ATTEMPTS:
+                    break
+                new_order = np.concatenate((order[:frozen], resort))
+                if agreed > frozen:
+                    warm_attempt = _resident_stacks(
+                        np.concatenate((warm_attempt, merged_lines[order[frozen:agreed]])),
+                        num_sets,
+                        associativity,
+                    )
+                    frozen = agreed
+                order = new_order
+            commit, order, hit_in_order, core_in_order, cumsums, penalties = best
+            commit = int(commit)
+            assert commit >= 1
+
+            # Commit the validated prefix: outcomes, counters, exact
+            # per-core cycle state, and the LLC's new recency stacks.
+            committed_core = core_in_order[:commit]
+            committed_hit = hit_in_order[:commit]
+            total_accesses += commit
+            total_misses += commit - int(committed_hit.sum())
+            committed_counts = np.bincount(committed_core, minlength=num_cores)
+            committed_hits = np.bincount(
+                committed_core[committed_hit], minlength=num_cores
+            )
+            for core in range(num_cores):
+                done = int(committed_counts[core])
+                accesses_all[core] += done
+                hits_all[core] += int(committed_hits[core])
+                # The uncommitted tail's speculative penalties seed the
+                # next round's proposal (a wrapped core starts fresh).
+                carried[core] = penalties[offsets[core] + done : offsets[core] + windows[core]]
+                if first_pass_cycles[core] is None:
+                    accesses_first[core] += done
+                    hits_first[core] += int(committed_hits[core])
+                    misses_first[core] += done - int(committed_hits[core])
+                if done == 0:
+                    continue
+                if done == windows[core]:
+                    cycle[core] = float(cumsums[core][-1])
+                    if wraps[core]:
+                        passes[core] += 1
+                        index[core] = 0
+                        if first_pass_cycles[core] is None:
+                            first_pass_cycles[core] = cycle[core]
+                            unfinished -= 1
+                    else:
+                        index[core] += done
+                else:
+                    cycle[core] = float(cumsums[core][2 * done])
+                    index[core] += done
+            if unfinished:
+                # The final commit never falls below the frozen prefix
+                # (the attempt that froze it had already validated a
+                # commit that long), so the intra-round warm state can
+                # be advanced instead of rebuilding from round start.
+                warm = _resident_stacks(
+                    np.concatenate((warm_attempt, merged_lines[order[frozen:commit]])),
+                    num_sets,
+                    associativity,
+                )
+                # The horizon cut legitimately trims a tail even on good
+                # rounds, so grow on mostly-committed rounds and shrink
+                # only when speculation wasted most of the work.
+                if commit * 4 >= n * 3:
+                    chunk = min(chunk * 2, _MAX_CHUNK)
+                elif commit * 4 < n:
+                    chunk = max(_MIN_CHUNK, chunk // 2)
+
+        return self._assemble(
+            llc_traces,
+            first_pass_cycles,
+            passes,
+            accesses_first,
+            hits_first,
+            misses_first,
+            total_accesses,
+            total_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared assembly: per-core state -> MultiCoreRunResult
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        llc_traces: Sequence[LLCAccessTrace],
+        first_pass_cycles: List[Optional[float]],
+        passes: List[int],
+        accesses_first: List[int],
+        hits_first: List[int],
+        misses_first: List[int],
+        total_accesses: int,
+        total_misses: int,
+    ) -> MultiCoreRunResult:
         programs = []
         for core, trace in enumerate(llc_traces):
             cycles = first_pass_cycles[core]
@@ -292,8 +849,8 @@ class MultiCoreSimulator:
             )
 
         return MultiCoreRunResult(
-            machine_name=machine.name,
-            num_cores=num_cores,
+            machine_name=self.machine.name,
+            num_cores=self.machine.num_cores,
             programs=programs,
             total_llc_accesses=total_accesses,
             total_llc_misses=total_misses,

@@ -423,7 +423,9 @@ class TestExperimentsTakePredictorLists:
         # One simulation per pair, not one per (pair, detailed-ish op).
         assert setup.reference_runs() == len(pairs)
         for evaluation in evaluated["detailed"]:
-            assert evaluation.predicted == prediction_from_run(evaluation.measured)
+            assert evaluation.predicted == prediction_from_run(
+                evaluation.measured, kernel=setup.config.multicore_kernel
+            )
             assert evaluation.stp_error == 0.0
 
     def test_ranking_and_agreement_canonicalise_specs(self, experiment_setup):

@@ -433,3 +433,63 @@ class TestLifecycle:
             # First prediction profiles on demand and still succeeds.
             response = call(thread, lambda c: c.predict(mix=NAMES[:2]))
             assert response["prediction"]["stp"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Raw HTTP framing
+# ---------------------------------------------------------------------------
+
+
+class TestContentLengthFraming:
+    """RFC 9110 allows only ASCII digits in Content-Length; bare int()
+    also accepted signs and underscores, which clients and
+    intermediaries interpret inconsistently (request-smuggling bait)."""
+
+    @staticmethod
+    def raw_exchange(live, content_length):
+        async def send():
+            reader, writer = await asyncio.open_connection(live.host, live.port)
+            request = (
+                "POST /predict HTTP/1.1\r\n"
+                f"Content-Length: {content_length}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(request.encode("latin-1"))
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        return asyncio.run(send())
+
+    @pytest.mark.parametrize("value", ["+5", "-1", "1_0", "0x10", "5.0", ""])
+    def test_malformed_content_length_is_a_structured_400(self, live, value):
+        raw = self.raw_exchange(live, value)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
+        assert b"malformed Content-Length header" in body
+
+    def test_plain_digits_still_reach_the_json_parser(self, live):
+        # "2" is well-formed framing; the 400 must now come from the
+        # JSON layer (body "{}", wrong shape), not the framing layer.
+        async def send():
+            reader, writer = await asyncio.open_connection(live.host, live.port)
+            writer.write(
+                b"POST /predict HTTP/1.1\r\n"
+                b"Content-Length: 2\r\n"
+                b"Connection: close\r\n"
+                b"\r\n"
+                b"{}"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        raw = asyncio.run(send())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
+        assert b"malformed Content-Length" not in body

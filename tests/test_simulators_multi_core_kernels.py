@@ -1,0 +1,222 @@
+"""Equivalence matrix for the multi-core interleaving kernels.
+
+The chunked kernel claims *bit-identical* results to the per-access
+reference loops — not approximately equal.  Frozen-dataclass equality
+on :class:`MultiCoreRunResult` compares every cycle count, CPI input
+and counter exactly, so each case below asserts plain ``==`` across
+``heap``/``scan``/``chunked`` on the situations where a speculative
+merge-and-rollback walk could diverge: duplicated-program mixes, exact
+ready-time ties, traces shorter than one speculation window, and
+1/2/4-core machines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulators.llc_trace import LLCAccessTrace
+from repro.simulators.multi_core import (
+    MULTI_CORE_KERNELS,
+    MultiCoreSimulationError,
+    MultiCoreSimulator,
+)
+from repro.workloads.benchmark import BenchmarkSpec, ReuseProfile
+
+
+def run_all_kernels(machine, traces):
+    """The same simulation on every kernel, as ``{kernel: result}``."""
+    return {
+        kernel: MultiCoreSimulator(machine, kernel=kernel).run(traces)
+        for kernel in MULTI_CORE_KERNELS
+    }
+
+
+def assert_all_identical(machine, traces):
+    results = run_all_kernels(machine, traces)
+    reference = results["heap"]
+    for kernel, result in results.items():
+        assert result == reference, f"kernel {kernel!r} diverged from heap"
+    return reference
+
+
+def synthetic_trace(name, gaps, lines, tail_cycles=7.0, seed=1):
+    """A hand-built LLC trace (the generator never emits 1-2 accesses)."""
+    gaps = np.asarray(gaps, dtype=np.float64)
+    lines = np.asarray(lines, dtype=np.int64)
+    spec = BenchmarkSpec(
+        name=name,
+        base_cpi=0.5,
+        mem_ref_fraction=0.3,
+        reuse=ReuseProfile(buckets=((8, 0.5),), new_weight=0.1),
+        working_set_lines=64,
+        mlp=1.0,
+        seed=seed,
+    )
+    return LLCAccessTrace(
+        spec=spec,
+        num_instructions=max(4 * len(lines), 8),
+        line=lines,
+        insn=np.arange(len(lines), dtype=np.int64),
+        upstream_cycle_gap=gaps,
+        tail_cycles=tail_cycles,
+        isolated_cycles=float(gaps.sum()) + tail_cycles + 10.0 * len(lines),
+    )
+
+
+def _traces(store, suite, machine, names):
+    return [store.get_llc_trace(suite[name], machine) for name in names]
+
+
+class TestKernelEquivalenceMatrix:
+    def test_four_core_heterogeneous_mix(self, store, tiny_suite, machine4):
+        traces = _traces(store, tiny_suite, machine4, ["gamess", "mcf", "soplex", "lbm"])
+        assert_all_identical(machine4, traces)
+
+    def test_two_core_mix(self, store, tiny_suite, machine2):
+        traces = _traces(store, tiny_suite, machine2, ["gamess", "soplex"])
+        assert_all_identical(machine2, traces)
+
+    def test_single_core_degenerates_to_isolated_run(self, store, tiny_suite, machine4):
+        machine1 = machine4.with_num_cores(1)
+        traces = _traces(store, tiny_suite, machine1, ["mcf"])
+        result = assert_all_identical(machine1, traces)
+        program = result.programs[0]
+        assert program.cpi == pytest.approx(program.isolated_cpi, rel=1e-9)
+
+    def test_duplicated_program_mix(self, store, tiny_suite, machine4):
+        """Same benchmark on every core: identical gaps make ready-time
+        ties the common case, so the core-index tie-break is exercised
+        on every wave of accesses."""
+        traces = _traces(store, tiny_suite, machine4, ["gamess"] * 4)
+        result = assert_all_identical(machine4, traces)
+        # The per-core address offset keeps the copies contending
+        # rather than prefetching for each other.
+        for program in result.programs:
+            assert program.slowdown > 1.0
+
+    def test_duplicated_pair_on_two_cores(self, store, tiny_suite, machine2):
+        traces = _traces(store, tiny_suite, machine2, ["soplex", "soplex"])
+        assert_all_identical(machine2, traces)
+
+    def test_randomized_mixes(self, store, tiny_suite, machine4):
+        """Random mixes with repetition across 1/2/4-core machines."""
+        rng = np.random.default_rng(20260808)
+        names = tiny_suite.names
+        for _ in range(6):
+            num_cores = int(rng.choice([1, 2, 4]))
+            machine = machine4.with_num_cores(num_cores)
+            mix = [names[i] for i in rng.integers(0, len(names), num_cores)]
+            traces = _traces(store, tiny_suite, machine, mix)
+            assert_all_identical(machine, traces)
+
+    def test_exact_ready_time_ties_across_cores(self, machine2):
+        """Hand-built traces with equal integer gaps: every access of
+        core 0 ties core 1's to the cycle, so the interleaving is
+        decided purely by the core-index tie-break."""
+        gaps = [10.0] * 40
+        lines = list(range(20)) * 2
+        traces = [
+            synthetic_trace("tie-a", gaps, lines, seed=11),
+            synthetic_trace("tie-b", gaps, lines, seed=12),
+        ]
+        assert_all_identical(machine2, traces)
+
+    def test_single_access_traces(self, machine2):
+        """One LLC access per program: windows collapse to a single
+        element and the FAME wraparound fires on the very first round."""
+        traces = [
+            synthetic_trace("one-a", [5.0], [3], seed=21),
+            synthetic_trace("one-b", [6.0], [3], seed=22),
+        ]
+        assert_all_identical(machine2, traces)
+
+    def test_single_access_against_long_trace(self, machine2):
+        """Extreme pass-count imbalance: the single-access program laps
+        the long one hundreds of times before its first pass ends."""
+        rng = np.random.default_rng(7)
+        long_gaps = rng.integers(1, 30, size=600).astype(np.float64)
+        long_lines = rng.integers(0, 512, size=600).astype(np.int64)
+        traces = [
+            synthetic_trace("one", [4.0], [9], seed=31),
+            synthetic_trace("long", long_gaps, long_lines, seed=32),
+        ]
+        assert_all_identical(machine2, traces)
+
+    def test_shorter_than_chunk_traces(self, machine4):
+        """Every trace fits inside one speculation window, with unequal
+        lengths so wraparounds happen mid-round."""
+        rng = np.random.default_rng(13)
+        traces = []
+        for core, length in enumerate([3, 17, 96, 41]):
+            gaps = rng.integers(1, 12, size=length).astype(np.float64)
+            lines = rng.integers(0, 256, size=length).astype(np.int64)
+            traces.append(synthetic_trace(f"short-{core}", gaps, lines, seed=40 + core))
+        assert_all_identical(machine4, traces)
+
+    def test_zero_gap_bursts(self, machine2):
+        """Zero upstream gaps produce exact ready-time ties *within* a
+        core's own burst as well as across cores."""
+        gaps = [0.0, 0.0, 3.0] * 12
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 128, size=36).astype(np.int64)
+        traces = [
+            synthetic_trace("burst-a", gaps, lines, seed=51),
+            synthetic_trace("burst-b", gaps, lines[::-1].copy(), seed=52),
+        ]
+        assert_all_identical(machine2, traces)
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self, machine4):
+        with pytest.raises(MultiCoreSimulationError):
+            MultiCoreSimulator(machine4, kernel="quantum")
+
+    def test_run_level_kernel_override(self, store, tiny_suite, machine2):
+        traces = _traces(store, tiny_suite, machine2, ["gamess", "mcf"])
+        simulator = MultiCoreSimulator(machine2, kernel="heap")
+        assert simulator.run(traces, kernel="chunked") == simulator.run(traces)
+
+    def test_chunked_requires_lru(self, store, tiny_suite, machine2):
+        traces = _traces(store, tiny_suite, machine2, ["gamess", "mcf"])
+        with pytest.raises(MultiCoreSimulationError):
+            MultiCoreSimulator(machine2, llc_policy="random", kernel="chunked")
+        # Without an explicit kernel the default silently stays on the
+        # reference loop for non-LRU policies.
+        fallback = MultiCoreSimulator(machine2, llc_policy="random")
+        assert fallback.run(traces).total_llc_accesses > 0
+
+
+class TestRunResultValidation:
+    def test_program_lookup_by_core_on_duplicated_mix(self, store, tiny_suite, machine2):
+        traces = _traces(store, tiny_suite, machine2, ["gamess", "gamess"])
+        result = MultiCoreSimulator(machine2).run(traces)
+        with pytest.raises(KeyError, match="pass core="):
+            result.program("gamess")
+        first = result.program("gamess", core=0)
+        second = result.program("gamess", core=1)
+        assert (first.core, second.core) == (0, 1)
+        with pytest.raises(KeyError):
+            result.program("gamess", core=2)
+        with pytest.raises(KeyError):
+            result.program("absent")
+
+    def test_from_dict_rejects_inconsistent_program_count(
+        self, store, tiny_suite, machine2
+    ):
+        traces = _traces(store, tiny_suite, machine2, ["gamess", "mcf"])
+        payload = MultiCoreSimulator(machine2).run(traces).to_dict()
+        payload["programs"] = payload["programs"][:1]
+        from repro.simulators.multi_core import MultiCoreRunResult
+
+        with pytest.raises(MultiCoreSimulationError):
+            MultiCoreRunResult.from_dict(payload)
+
+    def test_from_dict_rejects_duplicate_core_indices(
+        self, store, tiny_suite, machine2
+    ):
+        traces = _traces(store, tiny_suite, machine2, ["gamess", "mcf"])
+        payload = MultiCoreSimulator(machine2).run(traces).to_dict()
+        payload["programs"][1]["core"] = 0
+        from repro.simulators.multi_core import MultiCoreRunResult
+
+        with pytest.raises(MultiCoreSimulationError):
+            MultiCoreRunResult.from_dict(payload)
