@@ -1,0 +1,155 @@
+"""Benchmark guard: PMU-trace ingestion throughput and round-trip fidelity.
+
+The ingestion subsystem closes a loop the paper's users would run on
+real hardware: per-core PMU sample streams are segmented into phases
+and fitted into replayable benchmark specs.  This guard synthesizes
+PMU-shaped samples from *known* spec29 benchmarks (so the ground truth
+is exact, no hardware involved), fits them back, and enforces:
+
+* **fidelity floors** — the fitted specs' replay reproduces each
+  core's observed LLC miss rate, access rate and CPI within the
+  tolerances documented in the README ("Real traces");
+* **fit throughput** — the fitter sustains a minimum samples/second
+  (a regression that makes ``repro ingest`` orders slower fails CI);
+* **determinism** — fitting the same stream twice is bit-identical,
+  so digest-qualified engine cache keys stay trustworthy.
+
+Run standalone (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_ingest.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.config import machine_with_llc, scaled
+from repro.ingest import FitOptions, fit_stream, load_samples, write_samples
+from repro.workloads import make_workload
+
+#: Ground-truth benchmarks spanning the MEM/COMP/MIX classes.
+DEFAULT_BENCHMARKS = ("gamess", "lbm", "povray", "mcf", "hmmer", "soplex")
+QUICK_BENCHMARKS = ("gamess", "lbm", "povray")
+
+#: Synthesized sample stream shape (matches the committed CI fixture).
+NUM_INSTRUCTIONS = 60_000
+INTERVAL_INSTRUCTIONS = 1_500
+
+#: Fidelity floors: absolute miss-rate residual (phases with LLC
+#: traffic), relative access-rate and CPI residuals.  The test-suite
+#: tolerances are tighter; the guard adds margin for the larger pool.
+MISS_FLOOR = 0.08
+ACCESS_FLOOR = 0.40
+CPI_FLOOR = 0.20
+
+#: Throughput floor in fitted samples/second.  Measured ~400/s on a
+#: laptop-class core; the floor only needs to catch an order-of-
+#: magnitude regression (e.g. the fitter falling into per-sample
+#: python loops), not machine noise.
+SAMPLES_PER_SECOND_FLOOR = 40.0
+
+
+def measure_ingest(benchmarks, tmp_dir) -> dict:
+    suite = make_workload("suite:spec29").suite()
+    specs = [suite[name] for name in benchmarks]
+    machine = scaled(machine_with_llc(1, num_cores=1), 16)
+    csv_path, _ = write_samples(
+        specs,
+        machine,
+        tmp_dir / "samples.csv",
+        num_instructions=NUM_INSTRUCTIONS,
+        interval_instructions=INTERVAL_INSTRUCTIONS,
+    )
+    stream = load_samples(csv_path)
+    num_samples = sum(core.num_samples for core in stream.cores)
+
+    start = time.perf_counter()
+    fits = fit_stream(stream, FitOptions())
+    fit_seconds = time.perf_counter() - start
+
+    again = fit_stream(stream, FitOptions())
+    assert [fit.spec for fit in again] == [fit.spec for fit in fits], (
+        "fitting the same stream twice must be bit-identical"
+    )
+
+    report = []
+    for name, fit in zip(benchmarks, fits):
+        report.append(
+            {
+                "core": fit.core,
+                "source": name,
+                "phases": len(fit.phases),
+                "coverage": fit.coverage,
+                "miss_error": fit.max_miss_rate_error,
+                "access_error": fit.max_access_rate_error,
+                "cpi_error": fit.max_cpi_error,
+            }
+        )
+    return {
+        "benchmarks": list(benchmarks),
+        "num_samples": num_samples,
+        "fit_seconds": fit_seconds,
+        "samples_per_second": num_samples / fit_seconds if fit_seconds else 0.0,
+        "fidelity": report,
+        "floors": {
+            "miss": MISS_FLOOR,
+            "access": ACCESS_FLOOR,
+            "cpi": CPI_FLOOR,
+            "samples_per_second": SAMPLES_PER_SECOND_FLOOR,
+        },
+    }
+
+
+def run_guard(quick: bool = False, tmp_dir=None) -> dict:
+    import tempfile
+    from pathlib import Path
+
+    benchmarks = QUICK_BENCHMARKS if quick else DEFAULT_BENCHMARKS
+    if tmp_dir is None:
+        with tempfile.TemporaryDirectory() as scratch:
+            return run_guard(quick=quick, tmp_dir=Path(scratch))
+    result = measure_ingest(benchmarks, tmp_dir)
+    print(
+        f"fitted {len(benchmarks)} cores / {result['num_samples']} samples in "
+        f"{result['fit_seconds']:.2f}s -> {result['samples_per_second']:.0f} samples/s "
+        f"(floor {SAMPLES_PER_SECOND_FLOOR:.0f}/s)"
+    )
+    for row in result["fidelity"]:
+        print(
+            f"  core {row['core']} ({row['source']}): {row['phases']} phases, "
+            f"miss {row['miss_error']:.3f}, access {row['access_error']:.3f}, "
+            f"cpi {row['cpi_error']:.3f}"
+        )
+        assert row["coverage"] > 0.9, row
+        assert row["miss_error"] <= MISS_FLOOR, row
+        assert row["access_error"] <= ACCESS_FLOOR, row
+        assert row["cpi_error"] <= CPI_FLOOR, row
+    assert result["samples_per_second"] >= SAMPLES_PER_SECOND_FLOOR, (
+        f"ingest fit throughput regressed: {result['samples_per_second']:.0f} "
+        f"samples/s < required {SAMPLES_PER_SECOND_FLOOR:.0f}/s"
+    )
+    return result
+
+
+def test_perf_ingest_guard(tmp_path):
+    """Pytest entry point: full default-scale guard."""
+    run_guard(quick=False, tmp_dir=tmp_path)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke scale: fewer ground-truth cores, same floors",
+    )
+    args = parser.parse_args()
+    result = run_guard(quick=args.quick)
+    from perf_snapshot import round_floats, write_snapshot
+
+    write_snapshot("perf_ingest", round_floats(result), quick=args.quick)
+
+
+if __name__ == "__main__":
+    main()

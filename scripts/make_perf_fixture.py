@@ -1,0 +1,42 @@
+"""Regenerate the committed PMU sample fixture under ``tests/data/``.
+
+The fixture is a synthesized perf-style sample stream (CSV + machine
+descriptor JSON) emitted from three known spec29 benchmarks via
+:mod:`repro.ingest.synth`.  Tests and the CI smoke use it to exercise
+``repro ingest`` and the ``perf:`` workload family without hardware.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/make_perf_fixture.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config import machine_with_llc, scaled
+from repro.ingest import write_samples
+from repro.workloads import workload_for
+
+BENCHMARKS = ("gamess", "lbm", "povray")
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "perf_ingest_samples.csv"
+
+
+def main() -> None:
+    suite = workload_for("suite:spec29").suite()
+    specs = [suite[name] for name in BENCHMARKS]
+    machine = scaled(machine_with_llc(1, num_cores=1), 16)
+    csv_path, machine_path = write_samples(
+        specs,
+        machine,
+        OUT,
+        num_instructions=60_000,
+        interval_instructions=1_500,
+        seed=0,
+    )
+    print(f"wrote {csv_path}")
+    print(f"wrote {machine_path}")
+
+
+if __name__ == "__main__":
+    main()

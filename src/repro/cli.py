@@ -32,6 +32,10 @@ The CLI wraps the most common workflows behind one executable
     (accuracy, ranking, agreement, stress, variability, space) through
     the parallel engine, with ``--jobs N`` workers, a persistent
     ``--cache-dir`` and any set of estimators (repeatable ``--model``).
+``ingest``
+    Fit a PMU sample stream (CSV/JSONL + machine descriptor) into a
+    reusable workload bundle; the written directory is usable anywhere
+    ``--suite`` is accepted as ``perf:<dir>`` (see ``src/repro/ingest/``).
 ``serve``
     Run the prediction service: an asyncio HTTP/JSON server over the
     predictor/workload registries with request batching and
@@ -558,6 +562,78 @@ def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import FitOptions, write_bundle
+    from repro.ingest.workload import ingest_to_bundle
+    from repro.workloads.benchmark import WorkloadError
+
+    options = FitOptions(
+        num_instructions=args.instructions,
+        max_phases=args.max_phases,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    try:
+        workload, stream = ingest_to_bundle(
+            args.samples, machine_path=args.machine, options=options
+        )
+    except WorkloadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    bundle_path = write_bundle(workload, args.out)
+    spec = canonical_workload_spec(f"perf:{args.out}")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "bundle": str(bundle_path),
+                    "workload_spec": spec,
+                    "report": [
+                        {
+                            "core": fit.core,
+                            "benchmark": fit.spec.name,
+                            "samples": fit.num_samples,
+                            "coverage": fit.coverage,
+                            "phases": len(fit.phases),
+                            "max_miss_rate_error": fit.max_miss_rate_error,
+                            "max_access_rate_error": fit.max_access_rate_error,
+                            "max_cpi_error": fit.max_cpi_error,
+                        }
+                        for fit in workload.fits
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    rows = [
+        {
+            "core": fit.core,
+            "benchmark": fit.spec.name,
+            "samples": fit.num_samples,
+            "coverage": fit.coverage,
+            "phases": len(fit.phases),
+            "miss_err": fit.max_miss_rate_error,
+            "acc_err": fit.max_access_rate_error,
+            "cpi_err": fit.max_cpi_error,
+        }
+        for fit in workload.fits
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Fitted {len(workload.fits)} cores from "
+                f"{sum(len(core.timestamps) for core in stream.cores)} samples "
+                f"on {workload.machine.name}:"
+            ),
+        )
+    )
+    print(f"\nbundle: {bundle_path}")
+    print(f"workload spec: {spec}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -665,6 +741,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print a live engine job counter to stderr"
     )
     run_parser.set_defaults(handler=_with_setup(_command_run), experiments=None)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="fit a PMU sample stream into a reusable perf: workload bundle",
+    )
+    ingest_parser.add_argument(
+        "samples", help="PMU sample stream (CSV or JSONL; see src/repro/ingest/)"
+    )
+    ingest_parser.add_argument(
+        "--out",
+        required=True,
+        help="directory to write the fitted bundle (usable as perf:<dir>)",
+    )
+    ingest_parser.add_argument(
+        "--machine",
+        default=None,
+        help=(
+            "machine descriptor JSON (default: <samples-stem>.machine.json "
+            "next to the samples, then machine.json)"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=120_000,
+        help="replay trace length per fitted core (default: 120000)",
+    )
+    ingest_parser.add_argument(
+        "--max-phases",
+        type=_positive_int,
+        default=6,
+        help="phase-segmentation budget per core (default: 6)",
+    )
+    ingest_parser.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=4,
+        help="fit refinement rounds (default: 4)",
+    )
+    ingest_parser.add_argument(
+        "--seed", type=int, default=0, help="fitted-workload seed (default: 0)"
+    )
+    ingest_parser.add_argument(
+        "--json", action="store_true", help="emit the fit report as JSON"
+    )
+    ingest_parser.set_defaults(handler=_command_ingest)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the prediction service (HTTP/JSON over the registries)"

@@ -35,8 +35,10 @@ from repro.predictors import (
     DEFAULT_PREDICTOR,
     PredictorError,
     canonical_spec,
+    hybrid_worst_k,
     make_predictor,
     prediction_from_run,
+    tag_prediction,
 )
 from repro.profiling import ProfileStore, SingleCoreProfile
 from repro.simulators import (
@@ -497,6 +499,58 @@ class ExperimentSetup:
         self.engine.refresh_workers()
 
     def _run_ops(
+        self,
+        ops: Sequence[PredictJob],
+        contention_model: Optional[ContentionModel] = None,
+        mppm_config: Optional[MPPMConfig] = None,
+    ) -> List[object]:
+        """Run a sweep, expanding two-stage ``hybrid:*`` ops if present.
+
+        Plain sweeps go straight to :meth:`_run_plain_ops`.  Hybrid ops
+        run the default MPPM spec for the whole pool first, then each
+        hybrid spec's predicted worst-``K`` ops (lowest predicted system
+        throughput; ties broken by op index, so serial and parallel
+        runs pick identical mixes) are re-run as plain ``detailed`` ops
+        — through the same sweep graph, sharing job and cache entries
+        with every other detailed run of those (mix, machine) pairs.
+        Every hybrid op's result is tagged with the hybrid spec.
+        """
+        hybrid_present = any(spec.startswith("hybrid:") for spec, _, _ in ops)
+        if not hybrid_present:
+            return self._run_plain_ops(ops, contention_model, mppm_config)
+        if contention_model is not None or mppm_config is not None:
+            raise PredictorError(
+                "hybrid:* specs carry their own two-stage configuration; "
+                "they accept neither an explicit contention model nor an "
+                "MPPMConfig"
+            )
+        base_ops = [
+            (DEFAULT_PREDICTOR, mix, machine) if spec.startswith("hybrid:") else (spec, mix, machine)
+            for spec, mix, machine in ops
+        ]
+        out = self._run_plain_ops(base_ops)
+        by_spec: Dict[str, List[int]] = {}
+        for i, (spec, _, _) in enumerate(ops):
+            if spec.startswith("hybrid:"):
+                by_spec.setdefault(spec, []).append(i)
+        spot: List[int] = []
+        for spec in sorted(by_spec):
+            indices = by_spec[spec]
+            ranked = sorted(
+                indices, key=lambda index: (out[index].system_throughput, index)
+            )
+            spot.extend(ranked[: hybrid_worst_k(spec)])
+        spot_results = self._run_plain_ops(
+            [("detailed", ops[index][1], ops[index][2]) for index in spot]
+        )
+        for index, prediction in zip(spot, spot_results):
+            out[index] = prediction
+        for spec, indices in by_spec.items():
+            for index in indices:
+                out[index] = tag_prediction(out[index], spec)
+        return out
+
+    def _run_plain_ops(
         self,
         ops: Sequence[PredictJob],
         contention_model: Optional[ContentionModel] = None,

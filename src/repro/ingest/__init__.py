@@ -1,0 +1,56 @@
+"""Real-trace ingestion: PMU sample streams → fitted ``perf:`` workloads.
+
+The subsystem has five layers, in pipeline order:
+
+* :mod:`repro.ingest.samples` — parse CSV/JSONL per-core LLC-loads /
+  LLC-misses / instructions-retired streams plus a machine descriptor,
+  with structured :class:`IngestError`\\ s for everything malformed;
+* :mod:`repro.ingest.segment` — change-point segmentation of the
+  per-window series into phases;
+* :mod:`repro.ingest.fit` — per-phase fitting of a
+  :class:`~repro.workloads.benchmark.ReuseProfile` + access-rate/CPI
+  model, refined against the real single-core replay kernel, with an
+  explicit fit-quality report;
+* :mod:`repro.ingest.bundle` — the on-disk fitted-workload artefact
+  (``repro ingest ... --out DIR`` writes it, ``perf:DIR`` loads it);
+* :mod:`repro.ingest.synth` — the inverse direction: synthesize
+  PMU-shaped sample files from any existing benchmark, which is what
+  lets CI close the loop without hardware.
+
+:mod:`repro.ingest.workload` wires the pipeline into the workload
+registry as the ``perf:<path>`` family.
+"""
+
+from repro.ingest.bundle import FittedWorkload, load_bundle, write_bundle
+from repro.ingest.fit import CoreFit, FitOptions, PhaseFit, fit_core, fit_stream
+from repro.ingest.samples import (
+    CoreSamples,
+    IngestError,
+    MachineDescriptor,
+    SampleStream,
+    load_samples,
+    parse_samples,
+)
+from repro.ingest.segment import Segment, segment_series
+from repro.ingest.synth import synthesize_rows, write_samples
+
+__all__ = [
+    "CoreFit",
+    "CoreSamples",
+    "FitOptions",
+    "FittedWorkload",
+    "IngestError",
+    "MachineDescriptor",
+    "PhaseFit",
+    "SampleStream",
+    "Segment",
+    "fit_core",
+    "fit_stream",
+    "load_bundle",
+    "load_samples",
+    "parse_samples",
+    "segment_series",
+    "synthesize_rows",
+    "write_bundle",
+    "write_samples",
+]

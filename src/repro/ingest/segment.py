@@ -1,0 +1,128 @@
+"""Change-point segmentation of a PMU sample series into phases.
+
+The fitter needs phases, not raw windows: a :class:`BenchmarkSpec`
+models time-varying behaviour as a handful of
+:class:`~repro.workloads.benchmark.PhaseSpec` segments, so the first
+step of fitting is deciding where the observed behaviour actually
+changes.
+
+The algorithm is greedy recursive binary splitting on the per-window
+feature vector (miss rate, access rate, CPI), each feature normalised
+to unit scale so no single counter dominates.  Starting from one
+segment covering the whole series, the split with the largest
+sum-of-squared-error reduction is applied repeatedly, as long as the
+gain exceeds ``min_gain`` of the root SSE, both halves keep at least
+``min_samples`` windows, and the phase budget (``max_phases``) is not
+exhausted.  Ties break on the lowest split position, so segmentation is
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open window range ``[start, stop)`` of one sample series."""
+
+    start: int
+    stop: int
+
+    @property
+    def num_samples(self) -> int:
+        return self.stop - self.start
+
+
+def _sse(prefix: np.ndarray, prefix_sq: np.ndarray, start: int, stop: int) -> float:
+    """Within-segment SSE of ``features[start:stop]`` from cumulative sums."""
+    count = stop - start
+    if count <= 0:
+        return 0.0
+    total = prefix[stop] - prefix[start]
+    total_sq = prefix_sq[stop] - prefix_sq[start]
+    # sum((x - mean)^2) per feature = sum(x^2) - sum(x)^2 / n
+    return float(np.sum(total_sq - total * total / count))
+
+
+def _best_split(
+    prefix: np.ndarray,
+    prefix_sq: np.ndarray,
+    start: int,
+    stop: int,
+    min_samples: int,
+) -> Tuple[float, int]:
+    """The split of ``[start, stop)`` with the largest SSE reduction.
+
+    Returns ``(gain, split)``; ``gain`` is ``-inf`` when no admissible
+    split exists.  Among equal gains the lowest split index wins.
+    """
+    parent = _sse(prefix, prefix_sq, start, stop)
+    best_gain = -np.inf
+    best_split = -1
+    for split in range(start + min_samples, stop - min_samples + 1):
+        gain = parent - (
+            _sse(prefix, prefix_sq, start, split) + _sse(prefix, prefix_sq, split, stop)
+        )
+        if gain > best_gain + 1e-12:
+            best_gain = gain
+            best_split = split
+    return best_gain, best_split
+
+
+def _normalise(features: np.ndarray) -> np.ndarray:
+    """Scale each feature column to unit standard deviation (flat columns stay 0)."""
+    centred = features - features.mean(axis=0, keepdims=True)
+    scale = centred.std(axis=0, keepdims=True)
+    scale[scale == 0] = 1.0
+    return centred / scale
+
+
+def segment_series(
+    features: np.ndarray,
+    max_phases: int = 6,
+    min_samples: int = 3,
+    min_gain: float = 0.04,
+) -> List[Segment]:
+    """Segment a ``(num_windows, num_features)`` series into phases.
+
+    Greedy top-down splitting: at each step the admissible split with
+    the largest SSE gain (across all current segments) is applied, and
+    splitting stops once the best gain drops below ``min_gain`` times
+    the root SSE, the phase budget is reached, or no segment can be
+    split without dropping below ``min_samples`` windows.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    num_windows = features.shape[0]
+    if num_windows == 0:
+        return []
+    if max_phases < 1:
+        raise ValueError(f"max_phases must be >= 1, got {max_phases}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+
+    normalised = _normalise(features)
+    zeros = np.zeros((1, normalised.shape[1]), dtype=np.float64)
+    prefix = np.concatenate([zeros, np.cumsum(normalised, axis=0)])
+    prefix_sq = np.concatenate([zeros, np.cumsum(normalised * normalised, axis=0)])
+
+    root_sse = _sse(prefix, prefix_sq, 0, num_windows)
+    threshold = min_gain * root_sse
+    boundaries = [0, num_windows]
+    while len(boundaries) - 1 < max_phases:
+        best = (-np.inf, -1)
+        for left, right in zip(boundaries, boundaries[1:]):
+            gain, split = _best_split(prefix, prefix_sq, left, right, min_samples)
+            # Strictly-greater keeps the earliest candidate on exact ties.
+            if gain > best[0]:
+                best = (gain, split)
+        if best[1] < 0 or best[0] <= threshold or best[0] <= 0:
+            break
+        boundaries.append(best[1])
+        boundaries.sort()
+    return [Segment(start, stop) for start, stop in zip(boundaries, boundaries[1:])]

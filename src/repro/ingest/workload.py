@@ -1,0 +1,170 @@
+"""Registry glue for the ``perf:`` workload family.
+
+``perf:<path>`` turns a PMU sample file (or a pre-fitted bundle) into a
+benchmark suite: one ``pmu-c<core>`` benchmark per profiled core.  Two
+path shapes are accepted:
+
+* a **sample file** (``.csv`` / ``.jsonl``): validated at spec-parse
+  time (so malformed files fail at the CLI flag / service 400 layer),
+  fitted lazily on first suite use;
+* a **bundle** (a directory holding ``bundle.json``, or any ``.json``
+  file): the output of ``repro ingest`` — no fitting at all.
+
+Spec canonicalisation stamps a content digest of the source bytes into
+the canonical string (``...,digest=ab12...``), exactly like ``inline:``
+suites: the engine's cache keys and the profile store qualify every
+artefact by the workload spec, so two different sample files at the
+same path can never share a cache entry, and a spec whose digest no
+longer matches the bytes on disk is rejected instead of silently
+serving stale results.
+
+This module is imported lazily by :mod:`repro.workloads.registry` (the
+workloads package imports the registry at package-import time, and the
+ingest package imports the workloads package — laziness breaks the
+cycle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.ingest.bundle import FittedWorkload, bundle_file, load_bundle
+from repro.ingest.fit import FitOptions, fit_stream
+from repro.ingest.samples import (
+    IngestError,
+    SampleStream,
+    default_machine_path,
+    load_samples,
+)
+from repro.workloads.suite import BenchmarkSuite
+
+
+def is_bundle_path(path: Path) -> bool:
+    """Bundles are directories (holding ``bundle.json``) or ``.json`` files."""
+    return path.is_dir() or path.suffix.lower() == ".json"
+
+
+def _digest(*chunks: bytes) -> str:
+    hasher = hashlib.sha256()
+    for chunk in chunks:
+        hasher.update(chunk)
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class PerfSource:
+    """A validated ``perf:`` path: its content digest and core count."""
+
+    path: str
+    digest: str
+    num_cores: int
+    is_bundle: bool
+
+
+def inspect_perf_path(path_text: str) -> PerfSource:
+    """Validate a ``perf:`` path and compute its content digest.
+
+    Reads and *validates* the source (sample parsing or bundle schema)
+    but never fits — this runs on every spec canonicalisation, i.e. on
+    every ``--suite`` flag and every service request.
+    """
+    path = Path(path_text)
+    if is_bundle_path(path):
+        file_path = bundle_file(path)
+        bundle = load_bundle(path)  # schema validation
+        return PerfSource(
+            path=path_text,
+            digest=_digest(file_path.read_bytes()),
+            num_cores=len(bundle.fits),
+            is_bundle=True,
+        )
+    if not path.is_file():
+        raise IngestError(f"sample file not found: {path}")
+    machine_path = default_machine_path(path)
+    if machine_path is None:
+        raise IngestError(
+            f"no machine descriptor for {path}: put one at "
+            f"{path.stem}.machine.json or machine.json beside the samples"
+        )
+    stream = load_samples(path)  # full parse-time validation
+    return PerfSource(
+        path=path_text,
+        digest=_digest(path.read_bytes(), machine_path.read_bytes()),
+        num_cores=len(stream.cores),
+        is_bundle=False,
+    )
+
+
+def _select_cores(
+    specs: Tuple, benchmarks: Optional[int], what: str
+) -> Tuple:
+    if benchmarks is None:
+        return specs
+    if not 0 < benchmarks <= len(specs):
+        raise IngestError(
+            f"benchmarks={benchmarks} out of range: {what} has {len(specs)} core(s)"
+        )
+    return specs[:benchmarks]
+
+
+def build_perf_suite(
+    path_text: str,
+    benchmarks: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> BenchmarkSuite:
+    """Build the fitted suite behind a canonical ``perf:`` spec.
+
+    For bundles the stored specs are used as-is (``seed=`` re-seeds
+    their trace RNG); for raw sample files the fit runs here, on first
+    suite use — the expensive step is never on the spec-parsing path.
+    """
+    path = Path(path_text)
+    if is_bundle_path(path):
+        bundle = load_bundle(path)
+        fits = _select_cores(tuple(bundle.fits), benchmarks, f"bundle {path}")
+        specs = tuple(fit.spec for fit in fits)
+        if seed is not None:
+            specs = tuple(replace(spec, seed=seed) for spec in specs)
+        return BenchmarkSuite(specs=specs)
+    stream = load_samples(path)
+    options = FitOptions(seed=seed if seed is not None else 0)
+    fits = fit_stream(stream, options)
+    fits = _select_cores(tuple(fits), benchmarks, f"sample stream {path}")
+    return BenchmarkSuite(specs=tuple(fit.spec for fit in fits))
+
+
+def ingest_to_bundle(
+    samples_path: str,
+    machine_path: Optional[str] = None,
+    options: FitOptions = FitOptions(),
+) -> Tuple[FittedWorkload, SampleStream]:
+    """The full ingest pipeline: load, fit, and package as a bundle.
+
+    Returns the fitted workload plus the parsed stream (the CLI prints
+    per-core sample counts from it).
+    """
+    path = Path(samples_path)
+    if not path.is_file():
+        raise IngestError(f"sample file not found: {path}")
+    resolved_machine = (
+        Path(machine_path) if machine_path is not None else default_machine_path(path)
+    )
+    if resolved_machine is None:
+        raise IngestError(
+            f"no machine descriptor for {path}: put one at "
+            f"{path.stem}.machine.json or machine.json beside the samples, "
+            "or pass --machine"
+        )
+    stream = load_samples(path, machine=resolved_machine)
+    fits = fit_stream(stream, options)
+    workload = FittedWorkload(
+        machine=stream.machine,
+        options=options,
+        source_digest=_digest(path.read_bytes(), resolved_machine.read_bytes()),
+        fits=tuple(fits),
+    )
+    return workload, stream

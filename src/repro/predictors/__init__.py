@@ -38,6 +38,7 @@ from repro.core.mppm import MPPMConfig
 from repro.predictors.base import Predictor, PredictorError, tag_prediction
 from repro.predictors.baseline import VARIANTS as _BASELINE_VARIANTS, BaselinePredictor
 from repro.predictors.detailed import DetailedSimulationPredictor, prediction_from_run
+from repro.predictors.hybrid import HybridPredictor
 from repro.predictors.mppm import MPPMPredictor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,7 +50,10 @@ __all__ = [
     "MPPMPredictor",
     "BaselinePredictor",
     "DetailedSimulationPredictor",
+    "HybridPredictor",
     "DEFAULT_PREDICTOR",
+    "DEFAULT_HYBRID_K",
+    "hybrid_worst_k",
     "available_predictors",
     "canonical_spec",
     "describe_predictors",
@@ -62,6 +66,9 @@ __all__ = [
 
 #: The spec every experiment and CLI command defaults to (the paper's model).
 DEFAULT_PREDICTOR = "mppm:foa"
+
+#: Spot-check budget of the bare ``hybrid`` shorthand.
+DEFAULT_HYBRID_K = 4
 
 #: MPPM model variants exposed as their own specs (ablation entries):
 #: variant name -> (MPPMConfig, one-line description).  Both run over
@@ -88,8 +95,41 @@ def _spec_table() -> Mapping[str, str]:
         table[f"mppm:{variant}"] = description
     for variant, (_, description) in _BASELINE_VARIANTS.items():
         table[f"baseline:{variant}"] = description
+    table[f"hybrid:k={DEFAULT_HYBRID_K}"] = (
+        "MPPM for the bulk, detailed spot-checks for each pool's predicted worst-K mixes"
+    )
     table["detailed"] = "detailed shared-LLC multi-core simulation (the reference)"
     return table
+
+
+def _canonical_hybrid(spec: str, normalised: str) -> str:
+    """Canonicalise ``hybrid`` / ``hybrid:k=N`` (parametric, not table-bound)."""
+    _, sep, rest = normalised.partition(":")
+    if not sep or not rest:
+        return f"hybrid:k={DEFAULT_HYBRID_K}"
+    key, eq, value = rest.partition("=")
+    if key.strip() != "k" or not eq:
+        raise PredictorError(
+            f"unknown predictor spec {spec!r}; the hybrid family takes "
+            "hybrid:k=N (detailed spot-checks for each pool's predicted worst-N mixes)"
+        )
+    try:
+        k = int(value)
+    except ValueError:
+        raise PredictorError(
+            f"{spec!r}: the hybrid k parameter must be an integer, got {value.strip()!r}"
+        ) from None
+    if k < 1:
+        raise PredictorError(f"{spec!r}: the hybrid k parameter must be >= 1, got {k}")
+    return f"hybrid:k={k}"
+
+
+def hybrid_worst_k(spec: str) -> int:
+    """The spot-check budget ``K`` of a canonical ``hybrid:k=K`` spec."""
+    canonical = canonical_spec(spec)
+    if not canonical.startswith("hybrid:"):
+        raise PredictorError(f"{spec!r} is not a hybrid predictor spec")
+    return int(canonical.partition("=")[2])
 
 
 def available_predictors() -> List[str]:
@@ -107,6 +147,9 @@ def canonical_spec(spec: str) -> str:
     normalised = spec.strip().lower()
     if normalised == "mppm":
         normalised = DEFAULT_PREDICTOR
+    if normalised == "hybrid" or normalised.startswith("hybrid:"):
+        # Parametric family: any k >= 1 is valid, not just the listed exemplar.
+        return _canonical_hybrid(spec, normalised)
     if normalised not in _spec_table():
         raise PredictorError(
             f"unknown predictor spec {spec!r}; available predictors: "
@@ -147,6 +190,8 @@ def make_predictor(
         return MPPMPredictor(setup, contention=variant, mppm_config=mppm_config)
     if family == "baseline":
         return BaselinePredictor(setup, variant=variant)
+    if family == "hybrid":
+        return HybridPredictor(setup, worst_k=hybrid_worst_k(canonical), spec=canonical)
     return DetailedSimulationPredictor(setup)
 
 
@@ -169,9 +214,11 @@ def predictor_requires_traces(spec: str) -> bool:
 
     The engine's parallel warm-up phase uses this to decide whether a
     disk-cached profile is enough or the full (profile, trace) bundle
-    must be simulated before mix jobs fan out.
+    must be simulated before mix jobs fan out.  ``hybrid:*`` needs
+    traces too: its spot-check stage runs the detailed simulator.
     """
-    return canonical_spec(spec) == "detailed"
+    canonical = canonical_spec(spec)
+    return canonical == "detailed" or canonical.startswith("hybrid:")
 
 
 def describe_predictors() -> List[Tuple[str, str]]:

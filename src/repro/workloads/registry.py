@@ -225,9 +225,103 @@ def _parse_family(spec: str, family: str, rest: str) -> Tuple[str, Callable[[], 
     )
 
 
+def _category_subset(category: BenchmarkClass) -> BenchmarkSuite:
+    """The full suite restricted to one MEM/COMP/MIX behaviour class."""
+    full = spec_cpu2006_like_suite()
+    classes = classify_suite(full)
+    return full.subset([name for name in full.names if classes[name] is category])
+
+
+def _parse_perf(spec: str, rest: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
+    """Parse ``perf:<path>[,benchmarks=N][,seed=S][,digest=D]``.
+
+    The path keeps its case (this branch runs before the registry
+    lowercases anything) and must not contain commas.  Validation and
+    digesting of the file(s) behind the path happen here — cheap parse
+    + hash, never a fit — so a malformed sample file fails at the
+    ``--suite`` flag / service 400 layer, and the canonical spec pins
+    the source *content*, not just its name.
+    """
+    # Lazy import: repro.workloads.__init__ imports this registry, and
+    # repro.ingest imports repro.workloads — importing at module scope
+    # would be a cycle.
+    from repro.ingest import IngestError
+    from repro.ingest.workload import build_perf_suite, inspect_perf_path
+
+    parts = [part.strip() for part in rest.split(",")]
+    path = parts[0]
+    if not path:
+        raise WorkloadSpecError(
+            f"{spec!r}: perf needs a path — "
+            "perf:<samples.csv|samples.jsonl|bundle-dir>[,benchmarks=N][,seed=S]"
+        )
+    benchmarks: Optional[int] = None
+    seed: Optional[int] = None
+    digest: Optional[str] = None
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if not sep or key not in ("benchmarks", "seed", "digest"):
+            raise WorkloadSpecError(
+                f"{spec!r}: unknown perf parameter {part!r}; "
+                "valid parameters: benchmarks=N, seed=S"
+            )
+        if key == "digest":
+            digest = value.lower()
+            continue
+        try:
+            number = int(value)
+        except ValueError:
+            raise WorkloadSpecError(
+                f"{spec!r}: perf parameter {key} must be an integer, got {value!r}"
+            ) from None
+        if key == "benchmarks":
+            benchmarks = number
+        else:
+            seed = number
+    if benchmarks is not None and benchmarks <= 0:
+        raise WorkloadSpecError(f"{spec!r}: benchmarks must be positive, got {benchmarks}")
+    if seed is not None and seed < 0:
+        raise WorkloadSpecError(f"{spec!r}: seed must be non-negative, got {seed}")
+
+    try:
+        source = inspect_perf_path(path)
+    except IngestError as error:
+        raise WorkloadSpecError(f"{spec!r}: {error}") from None
+    if digest is not None and digest != source.digest:
+        raise WorkloadSpecError(
+            f"{spec!r}: samples changed on disk — the spec pins content digest "
+            f"{digest} but {path!r} now digests to {source.digest}"
+        )
+    if benchmarks is not None and benchmarks > source.num_cores:
+        raise WorkloadSpecError(
+            f"{spec!r}: benchmarks={benchmarks} out of range; "
+            f"{path!r} has {source.num_cores} profiled core(s)"
+        )
+    canonical = f"perf:{path}"
+    if benchmarks is not None:
+        canonical += f",benchmarks={benchmarks}"
+    if seed is not None:
+        canonical += f",seed={seed}"
+    canonical += f",digest={source.digest}"
+    kind = "fitted bundle" if source.is_bundle else "PMU sample stream"
+    count = benchmarks if benchmarks is not None else source.num_cores
+    return (
+        canonical,
+        lambda: build_perf_suite(path, benchmarks, seed),
+        f"{count} benchmark(s) fitted from the {kind} at {path} (digest {source.digest})",
+    )
+
+
 def _parse(spec: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
     """(canonical spec, suite builder, description) or raise."""
-    normalised = spec.strip().lower()
+    stripped = spec.strip()
+    perf_family, perf_sep, perf_rest = stripped.partition(":")
+    if perf_sep and perf_family.strip().lower() == "perf":
+        # Before lowercasing: the perf payload is a filesystem path.
+        return _parse_perf(stripped, perf_rest.strip())
+    normalised = stripped.lower()
     if normalised in ("suite", DEFAULT_WORKLOAD):
         return (
             DEFAULT_WORKLOAD,
@@ -239,6 +333,13 @@ def _parse(spec: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
         family, rest = normalised, ""
     if family == "suite":
         base, slash, modifier = rest.partition("/")
+        if base == "spec29" and slash and modifier in ("mem", "comp", "mix"):
+            category = BenchmarkClass(modifier.upper())
+            return (
+                f"suite:spec29/{modifier}",
+                lambda: _category_subset(category),
+                f"the {category.value}-class benchmarks of the SPEC CPU2006-like suite",
+            )
         if base != "spec29" or not slash or not modifier.startswith("scaled@"):
             raise _unknown(spec)
         try:
@@ -298,6 +399,16 @@ _FAMILY_ROWS: Tuple[Tuple[str, str, str], ...] = (
         "suite:spec29/scaled@8",
         "suite:spec29/scaled@N",
         "a curated N-benchmark spread of the suite's behaviours (N < 29)",
+    ),
+    (
+        "suite:spec29/mem",
+        "suite:spec29/{mem|comp|mix}",
+        "the suite restricted to one MEM/COMP/MIX behaviour class",
+    ),
+    (
+        "perf:tests/data/perf_ingest_samples.csv",
+        "perf:<path>[,benchmarks=N][,seed=S]",
+        "benchmarks fitted from a PMU sample stream or ingest bundle at <path>",
     ),
     (
         "random:n=8,seed=0",

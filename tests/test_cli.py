@@ -23,6 +23,7 @@ class TestParser:
             "compare",
             "rank",
             "stress",
+            "ingest",
             "serve",
         ):
             assert command in parser.format_help()
@@ -114,7 +115,12 @@ class TestCommands:
         from repro.workloads import make_workload
 
         for row in payload["workloads"]:
-            assert make_workload(row["example"]).spec == row["example"]
+            spec = make_workload(row["example"]).spec
+            if row["example"].startswith("perf:"):
+                # perf: canonicalises by appending the source digest.
+                assert spec.startswith(row["example"] + ",digest=")
+            else:
+                assert spec == row["example"]
 
     def test_suite_flag_selects_the_workload(self, capsys):
         assert main(["suite", "--suite", "service:n=4,seed=0", "--instructions", "20000"]) == 0
@@ -209,3 +215,44 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "worst_program" in output
         assert output.count("\n") >= 5
+
+
+class TestIngestCommand:
+    FIXTURE = "tests/data/perf_ingest_samples.csv"
+
+    def test_ingest_writes_a_usable_bundle(self, capsys, tmp_path):
+        out = tmp_path / "bundle"
+        assert main(["ingest", self.FIXTURE, "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert (out / "bundle.json").is_file()
+        assert "pmu-c0" in output and "cpi_err" in output
+        assert f"workload spec: perf:{out},digest=" in output
+        # The printed spec round-trips straight into a prediction.
+        assert main(["predict", "--suite", f"perf:{out}", "--instructions", "20000",
+                     "pmu-c0", "pmu-c1"]) == 0
+        assert "STP" in capsys.readouterr().out
+
+    def test_ingest_json_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "bundle"
+        assert main(["ingest", self.FIXTURE, "--out", str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload_spec"].startswith(f"perf:{out},digest=")
+        assert len(report["report"]) == 3
+        assert all(row["coverage"] > 0 for row in report["report"])
+
+    def test_ingest_rejects_malformed_samples(self, capsys, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("core,timestamp\n0,1.0\n")
+        assert main(["ingest", str(bad), "--out", str(tmp_path / "b")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_ingest_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["ingest", str(tmp_path / "nope.csv"), "--out", str(tmp_path / "b")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_workloads_advertises_the_perf_family(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "perf:" in capsys.readouterr().out

@@ -64,6 +64,7 @@ class TestRegistry:
             "mppm:figure2",
             "baseline:no-contention",
             "baseline:one-shot",
+            "hybrid:k=4",
             "detailed",
         ]
         assert DEFAULT_PREDICTOR == "mppm:foa"

@@ -308,6 +308,91 @@ class TestPredictErrors:
             "valid categories",
         )
 
+
+# ---------------------------------------------------------------------------
+# perf: workloads over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestPerfWorkloads:
+    """Fitted-trace workloads served like any other registry family."""
+
+    @pytest.fixture(scope="class")
+    def perf_spec(self, tmp_path_factory):
+        from pathlib import Path
+
+        from repro.ingest import write_bundle
+        from repro.ingest.workload import ingest_to_bundle
+
+        fixture = Path(__file__).parent / "data" / "perf_ingest_samples.csv"
+        workload, _ = ingest_to_bundle(fixture)
+        out = tmp_path_factory.mktemp("svc-perf") / "bundle"
+        write_bundle(workload, out)
+        return f"perf:{out}"
+
+    def test_perf_workload_is_served(self, live, perf_spec):
+        response = call(
+            live,
+            lambda c: c.predict(mix=["pmu-c0", "pmu-c1"], workload=perf_spec),
+        )
+        # The echoed workload is the canonical, digest-qualified spec.
+        assert response["workload"].startswith(perf_spec + ",digest=")
+        assert response["prediction"]["stp"] > 0
+        assert [p["name"] for p in response["prediction"]["programs"]] == [
+            "pmu-c0",
+            "pmu-c1",
+        ]
+
+    def test_served_perf_prediction_matches_the_batch_path(self, live, perf_spec):
+        served = call(
+            live, lambda c: c.predict(mix=["pmu-c0", "pmu-c1"], workload=perf_spec)
+        )
+        setup = ExperimentSetup(config=CONFIG.experiment_config(), workload=perf_spec)
+        try:
+            machine = setup.machine(num_cores=2)
+            expected = setup.predict(
+                WorkloadMix(programs=("pmu-c0", "pmu-c1")), machine
+            )
+        finally:
+            setup.close()
+        assert served["prediction"] == json.loads(
+            json.dumps(prediction_payload(expected))
+        )
+
+    def test_malformed_perf_samples_are_a_400(self, live, tmp_path):
+        from pathlib import Path
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("core,timestamp\n0,1.0\n")
+        machine_json = (
+            Path(__file__).parent / "data" / "perf_ingest_samples.machine.json"
+        )
+        (tmp_path / "machine.json").write_text(machine_json.read_text())
+        status, body = call(
+            live,
+            lambda c: c.request(
+                "POST", "/predict", {"mix": ["pmu-c0"], "workload": f"perf:{bad}"}
+            ),
+        )
+        assert status == 400, body
+        assert "missing" in body["error"]
+
+    def test_stale_digest_is_a_400(self, live, perf_spec):
+        status, body = call(
+            live,
+            lambda c: c.request(
+                "POST",
+                "/predict",
+                {"mix": ["pmu-c0"], "workload": f"{perf_spec},digest=000000000000"},
+            ),
+        )
+        assert status == 400, body
+        assert "changed on disk" in body["error"]
+
+    def test_workloads_payload_lists_the_perf_family(self, live):
+        payload = call(live, lambda c: c.workloads())
+        assert any(row["spec"].startswith("perf:") for row in payload["workloads"])
+
     def test_malformed_json_body_is_a_structured_400(self, live):
         async def post_garbage(client):
             return await client.request("POST", "/predict", payload=None)
