@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Capture a PMU sample stream in the shape `repro ingest` consumes.
+#
+# Wraps `perf stat -I` (interval mode, per-CPU, CSV output) and rewrites
+# its stderr stream into the documented sample CSV —
+#
+#     core,timestamp,llc_loads,llc_misses,instructions
+#
+# one row per (core, sample window), which is exactly what
+# `repro.ingest` / the `perf:` workload family expect (see
+# src/repro/ingest/samples.py REQUIRED_COLUMNS).
+#
+# Usage:
+#     scripts/perf_sample.sh [-i MS] [-o OUT.csv] [-C CPULIST] -- COMMAND...
+#
+#     -i MS       sampling interval in milliseconds (default 100)
+#     -o OUT.csv  output CSV path (default samples.csv)
+#     -C CPULIST  restrict sampling to these CPUs, e.g. 0,1 (default all)
+#
+# Examples:
+#     # Pin two benchmarks to cores 0 and 1, sample both for their lifetime:
+#     taskset -c 1 ./bench_b & scripts/perf_sample.sh -C 0,1 -o samples.csv \
+#         -- taskset -c 0 ./bench_a
+#
+#     # Then fit the stream into a reusable bundle:
+#     PYTHONPATH=src python -m repro.cli ingest samples.csv --out bundle/
+#
+# Sampling is system-wide per-CPU (`perf stat -a -A`): each CSV `core`
+# column is a hardware CPU, so pin one benchmark per sampled core
+# (taskset/cgroups) for a clean per-program series.  Windows where a
+# counter was not counted (multiplexing) are dropped whole rather than
+# emitted with holes.  Pair the CSV with a machine descriptor JSON
+# (cache geometry in lines + clock in GHz — see MachineDescriptor in
+# src/repro/ingest/samples.py); `repro ingest` looks for
+# <stem>.machine.json, then a shared machine.json, beside the CSV.
+
+set -euo pipefail
+
+INTERVAL_MS=100
+OUT=samples.csv
+CPULIST=""
+EVENTS="LLC-loads,LLC-load-misses,instructions"
+
+usage() {
+    sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
+    exit "${1:-0}"
+}
+
+while getopts "i:o:C:h" opt; do
+    case "$opt" in
+        i) INTERVAL_MS="$OPTARG" ;;
+        o) OUT="$OPTARG" ;;
+        C) CPULIST="$OPTARG" ;;
+        h) usage 0 ;;
+        *) usage 64 ;;
+    esac
+done
+shift $((OPTIND - 1))
+[ "${1:-}" = "--" ] && shift
+[ $# -ge 1 ] || { echo "error: no command to sample (see -h)" >&2; exit 64; }
+
+command -v perf >/dev/null 2>&1 || {
+    echo "error: perf not found; install linux-tools for this kernel" >&2
+    exit 69
+}
+
+PERF_OPTS=(-x, -I "$INTERVAL_MS" -a -A -e "$EVENTS")
+[ -n "$CPULIST" ] && PERF_OPTS+=(-C "$CPULIST")
+
+# perf stat writes counter lines to stderr; route them through awk and
+# leave the sampled command's own stdout/stderr alone.
+perf stat "${PERF_OPTS[@]}" -- "$@" 2> >(
+    awk -F, -v OFS=, '
+        BEGIN { print "core,timestamp,llc_loads,llc_misses,instructions" }
+        /^#/ { next }
+        NF >= 5 {
+            ts = $1; cpu = $2; val = $3; ev = $5
+            gsub(/^[ \t]+|[ \t]+$/, "", ts)
+            gsub(/^[ \t]+|[ \t]+$/, "", cpu)
+            gsub(/^[ \t]+|[ \t]+$/, "", val)
+            gsub(/^[ \t]+|[ \t]+$/, "", ev)
+            sub(/^CPU/, "", cpu)
+            sub(/:[a-zA-Z]+$/, "", ev)   # strip :u/:k modifiers
+            if (cpu !~ /^[0-9]+$/) next
+            # "<not counted>" / "<not supported>" poison the whole
+            # window for that core: drop it instead of emitting holes.
+            key = ts SUBSEP cpu
+            if (val !~ /^[0-9]+$/) { bad[key] = 1 }
+            else if (ev == "LLC-loads")        loads[key] = val
+            else if (ev == "LLC-load-misses")  miss[key] = val
+            else if (ev == "instructions")     insn[key] = val
+            if (!(key in bad) && (key in loads) && (key in miss) && (key in insn)) {
+                print cpu, ts, loads[key], miss[key], insn[key]
+                delete loads[key]; delete miss[key]; delete insn[key]
+            }
+        }
+    ' > "$OUT"
+)
+
+echo "wrote $OUT" >&2

@@ -40,12 +40,17 @@ The CLI wraps the most common workflows behind one executable
     Run the prediction service: an asyncio HTTP/JSON server over the
     predictor/workload registries with request batching and
     shared-cache memoisation (see ``src/repro/service/``).
+``worker``
+    Run a fleet worker agent: the per-host half of ``--fleet``, taking
+    pickled job recipes over HTTP and returning registry result
+    envelopes (see ``src/repro/engine/remote/``).
 
 All commands accept ``--suite`` (a workload spec from ``repro
 workloads``), ``--benchmarks``, ``--instructions``, ``--scale`` and
-``--seed`` to control the experiment setup, plus ``--jobs`` and
-``--cache-dir`` to control the engine; the defaults match the
-benchmark suite in ``benchmarks/``.
+``--seed`` to control the experiment setup, plus ``--jobs`` (process
+pool), ``--fleet`` (multi-host worker fleet: ``localhost:N``,
+``ssh=host1,host2``) and ``--cache-dir`` to control the engine; the
+defaults match the benchmark suite in ``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -84,6 +89,16 @@ def _workload_spec_from_args(args: argparse.Namespace) -> str:
     return f"suite:spec29/scaled@{args.benchmarks}"
 
 
+def _engine_jobs_from_args(args: argparse.Namespace):
+    """Resolve ``--fleet`` / ``--jobs`` into an engine ``jobs`` value.
+
+    The two flags are mutually exclusive at the argparse level; a fleet
+    spec (already canonicalised by :func:`_fleet_spec`) wins.
+    """
+    fleet = getattr(args, "fleet", None)
+    return fleet if fleet is not None else args.jobs
+
+
 def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
     """Construct the experiment setup shared by all commands."""
     workload = _workload_spec_from_args(args)
@@ -94,7 +109,9 @@ def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
         seed=args.seed,
     )
     reporter = ConsoleReporter() if getattr(args, "progress", False) else None
-    engine = create_engine(jobs=args.jobs, cache_dir=args.cache_dir, reporter=reporter)
+    engine = create_engine(
+        jobs=_engine_jobs_from_args(args), cache_dir=args.cache_dir, reporter=reporter
+    )
     return ExperimentSetup(
         config=config, workload=workload, engine=engine, cache_dir=args.cache_dir
     )
@@ -120,6 +137,16 @@ def _workload_spec(value: str) -> str:
     try:
         return canonical_workload_spec(value)
     except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _fleet_spec(value: str) -> str:
+    """argparse type for ``--fleet``: canonicalised ``fleet:`` spec."""
+    from repro.engine.remote import FleetSpecError, normalize_fleet_flag
+
+    try:
+        return normalize_fleet_flag(value)
+    except FleetSpecError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
@@ -186,11 +213,22 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         choices=range(1, 7),
         help="Table 2 LLC configuration number (default: 1)",
     )
-    parser.add_argument(
+    engine_group = parser.add_mutually_exclusive_group()
+    engine_group.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
         help="engine worker processes; 1 runs everything in-process (default: 1)",
+    )
+    engine_group.add_argument(
+        "--fleet",
+        type=_fleet_spec,
+        default=None,
+        help=(
+            "run the engine on a worker fleet instead of a process pool: "
+            "localhost:N (loopback subprocesses), ssh=host1,host2, or "
+            "attach=host:port+host:port (see src/repro/engine/remote/)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -450,6 +488,15 @@ def _command_stress(args: argparse.Namespace, setup: ExperimentSetup) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    """Run a fleet worker agent until ``POST /shutdown`` or Ctrl-C."""
+    from repro.engine.remote import run_worker
+
+    return run_worker(
+        host=args.host, port=args.port, cache_dir=args.cache_dir, tag=args.tag
+    )
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """Run the prediction service until Ctrl-C or ``POST /shutdown``."""
     from repro.service import ServiceConfig, serve_blocking
@@ -457,7 +504,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         host=args.host,
         port=args.port,
-        jobs=args.jobs,
+        jobs=args.fleet if args.fleet is not None else args.jobs,
         cache_dir=args.cache_dir,
         workload=args.suite if args.suite is not None else DEFAULT_WORKLOAD,
         window=args.window,
@@ -553,12 +600,15 @@ def _command_run(args: argparse.Namespace, setup: ExperimentSetup) -> int:
         selected = RUN_EXPERIMENTS
     else:
         selected = tuple(args.experiments)
+    engine_label = (
+        f"--fleet {args.fleet}" if getattr(args, "fleet", None) else f"--jobs {args.jobs}"
+    )
     for name in selected:
         start = time.perf_counter()
         result = run_experiment(name)
         elapsed = time.perf_counter() - start
         print(result.render())
-        print(f"[{name}] finished in {elapsed:.1f}s with --jobs {args.jobs}\n")
+        print(f"[{name}] finished in {elapsed:.1f}s with {engine_label}\n")
     return 0
 
 
@@ -809,11 +859,21 @@ def build_parser() -> argparse.ArgumentParser:
             f"none (default: {DEFAULT_WORKLOAD})"
         ),
     )
-    serve_parser.add_argument(
+    serve_engine_group = serve_parser.add_mutually_exclusive_group()
+    serve_engine_group.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
         help="engine worker processes; 1 runs everything in-process (default: 1)",
+    )
+    serve_engine_group.add_argument(
+        "--fleet",
+        type=_fleet_spec,
+        default=None,
+        help=(
+            "back the service's engine with a worker fleet: localhost:N, "
+            "ssh=host1,host2, or attach=host:port+host:port"
+        ),
     )
     serve_parser.add_argument(
         "--cache-dir",
@@ -848,6 +908,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the startup profile preload (profiles are computed on first use)",
     )
     serve_parser.set_defaults(handler=_command_serve)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="run a fleet worker agent (jobs in, registry result envelopes out)",
+    )
+    worker_parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: 127.0.0.1)"
+    )
+    worker_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind; 0 picks an ephemeral port and announces it (default: 0)",
+    )
+    worker_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent cache directory for this worker's results (default: memory only)",
+    )
+    worker_parser.add_argument(
+        "--tag", default=None, help="worker name in announcements and /stats (default: pid)"
+    )
+    worker_parser.set_defaults(handler=_command_worker)
 
     return parser
 

@@ -51,25 +51,36 @@ __all__ = [
 
 
 def create_engine(
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     reporter: Optional[ProgressReporter] = None,
     memory_cache: bool = False,
 ) -> Executor:
     """Build an executor from the two knobs every caller has.
 
-    ``jobs`` selects the backend (1 → serial, N → a process pool of N
-    workers); ``cache_dir`` is the campaign cache directory — engine
-    results are persisted under ``<cache_dir>/results``, next to the
-    profile store's ``<cache_dir>/profiles``.  ``memory_cache`` gives
-    the executor a memory-only :class:`ResultCache` when no cache
-    directory is configured, so long-running callers (the prediction
-    service) still memoise and deduplicate repeated work without
-    touching disk.
+    ``jobs`` selects the backend: 1 → serial, N → a process pool of N
+    workers, or a ``fleet:`` spec string (``"fleet:localhost:2"``,
+    ``"fleet:ssh=host1,host2"`` — see :mod:`repro.engine.remote`) → a
+    multi-host fleet.  ``cache_dir`` is the campaign cache directory —
+    engine results are persisted under ``<cache_dir>/results``, next to
+    the profile store's ``<cache_dir>/profiles``; a loopback fleet's
+    workers share it, making the content-hash cache the fleet-wide
+    dedup layer.  ``memory_cache`` gives the executor a memory-only
+    :class:`ResultCache` when no cache directory is configured, so
+    long-running callers (the prediction service) still memoise and
+    deduplicate repeated work without touching disk.
     """
-    if jobs < 1:
-        raise ValueError(f"jobs must be at least 1, got {jobs}")
-    backend: ExecutorBackend = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
+    backend: ExecutorBackend
+    if isinstance(jobs, str):
+        from repro.engine.remote import FleetBackend
+
+        backend = FleetBackend(
+            jobs, cache_dir=str(cache_dir) if cache_dir is not None else None
+        )
+    else:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        backend = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
     cache: Optional[ResultCache] = None
     if cache_dir is not None:
         cache = ResultCache(Path(cache_dir) / "results")

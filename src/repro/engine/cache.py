@@ -62,6 +62,32 @@ def register_result_type(
     )
 
 
+def serialize_result(value: Any) -> Optional[Dict]:
+    """The ``{"type", "payload"}`` envelope for a registered result type.
+
+    Returns ``None`` for unregistered types.  This is the single
+    serialisation used both for disk persistence and for shipping
+    results between fleet hosts (:mod:`repro.engine.remote.protocol`),
+    so a result harvested over the wire is byte-for-byte the entry a
+    local run would have written.
+    """
+    entry = _SERIALIZERS.get(type(value).__name__)
+    if entry is None or not isinstance(value, entry[0]):
+        return None
+    return {"type": type(value).__name__, "payload": entry[1](value)}
+
+
+def deserialize_result(data: Any) -> Any:
+    """Rebuild a value from its registry envelope.
+
+    Raises ``KeyError``/``TypeError`` for foreign or truncated payloads;
+    the disk cache treats those as a miss, the fleet protocol treats
+    them as a corrupt worker payload.
+    """
+    entry = _SERIALIZERS[data["type"]]
+    return entry[2](data["payload"])
+
+
 class ResultCache:
     """Two-level (memory, disk) cache of experiment results.
 
@@ -145,8 +171,7 @@ class ResultCache:
         data = read_json_tolerant(path)
         try:
             # A foreign or truncated payload is a miss, like corruption.
-            entry = _SERIALIZERS[data["type"]]
-            return entry[2](data["payload"])
+            return deserialize_result(data)
         except (TypeError, KeyError):
             return MISS
 
@@ -154,10 +179,10 @@ class ResultCache:
         path = self._path(key)
         if path is None:
             return
-        entry = _SERIALIZERS.get(type(value).__name__)
-        if entry is None or not isinstance(value, entry[0]):
+        envelope = serialize_result(value)
+        if envelope is None:
             return
-        atomic_write_json(path, {"type": type(value).__name__, "payload": entry[1](value)})
+        atomic_write_json(path, envelope)
 
 
 def _register_builtin_types() -> None:

@@ -1,0 +1,127 @@
+"""Blocking HTTP client for one fleet worker.
+
+Each dispatch thread owns one :class:`WorkerClient`.  Every call opens
+a fresh ``http.client`` connection with a timeout — fleets ship a
+handful of long-running jobs, not thousands of tiny requests, so
+connection reuse buys nothing and fresh connections make failure
+detection trivial.  The in-flight connection is kept on the instance
+so the heartbeat monitor can :meth:`abort` it from another thread: the
+socket shutdown makes the blocked ``getresponse`` raise immediately,
+unsticking a dispatch thread whose worker died mid-job.
+
+Every transport-level failure — refused, reset, timed out, truncated,
+non-JSON — is normalised to :class:`WorkerTransportError`; the backend
+maps that to "retire the worker, reassign the job".
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.engine.remote.errors import WorkerTransportError
+
+#: Timeout for liveness probes; generous for a loopback healthz, tight
+#: enough that a dead host is detected within one heartbeat interval.
+HEALTH_TIMEOUT = 5.0
+
+
+class WorkerClient:
+    """Synchronous JSON-over-HTTP client for one worker endpoint."""
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if not split.hostname or not split.port:
+            raise ValueError(f"worker url needs host and port, got {url!r}")
+        self.url = f"http://{split.hostname}:{split.port}"
+        self.host = split.hostname
+        self.port = split.port
+        self.timeout = timeout
+        self._active: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.Lock()
+
+    def abort(self) -> None:
+        """Tear down the in-flight connection (called from another thread)."""
+        with self._lock:
+            connection = self._active
+        if connection is None:
+            return
+        try:
+            if connection.sock is not None:
+                connection.sock.shutdown(socket.SHUT_RDWR)
+            connection.close()
+        except OSError:
+            pass
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One request; returns ``(status, json body)`` or raises transport error."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout if timeout is not None else self.timeout
+        )
+        with self._lock:
+            self._active = connection
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                raise WorkerTransportError(
+                    f"{self.url}{path}: non-JSON response: {error}"
+                ) from None
+            if not isinstance(decoded, dict):
+                raise WorkerTransportError(f"{self.url}{path}: response is not a JSON object")
+            return response.status, decoded
+        except WorkerTransportError:
+            raise
+        except (OSError, http.client.HTTPException) as error:
+            raise WorkerTransportError(f"{self.url}{path}: {error}") from None
+        finally:
+            with self._lock:
+                self._active = None
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    # -- endpoint conveniences ------------------------------------------
+
+    def healthz(self, timeout: float = HEALTH_TIMEOUT) -> Dict[str, Any]:
+        status, body = self.request("GET", "/healthz", timeout=timeout)
+        if status != 200:
+            raise WorkerTransportError(f"{self.url}/healthz returned {status}")
+        return body
+
+    def stats(self) -> Dict[str, Any]:
+        status, body = self.request("GET", "/stats", timeout=HEALTH_TIMEOUT)
+        if status != 200:
+            raise WorkerTransportError(f"{self.url}/stats returned {status}")
+        return body
+
+    def run(self, payload: Dict[str, Any], timeout: Optional[float] = None) -> Tuple[int, Dict]:
+        return self.request("POST", "/run", payload=payload, timeout=timeout)
+
+    def cache_query(self, keys: Sequence[str]) -> Sequence[str]:
+        status, body = self.request("POST", "/cache/query", payload={"keys": list(keys)})
+        if status != 200 or not isinstance(body.get("hits"), list):
+            raise WorkerTransportError(f"{self.url}/cache/query returned {status}: {body}")
+        return body["hits"]
+
+    def request_shutdown(self) -> None:
+        try:
+            self.request("POST", "/shutdown", payload={}, timeout=HEALTH_TIMEOUT)
+        except WorkerTransportError:
+            pass  # best effort: the worker may already be gone

@@ -1,0 +1,171 @@
+"""Launching fleet workers: loopback subprocesses and ssh remotes.
+
+Loopback workers (``fleet:localhost:N``) are real ``repro worker``
+subprocesses on ``127.0.0.1`` — the CI-testable path exercising the
+full wire protocol, process isolation included.  Each is started with
+``--port 0``; the launcher reads the announce line
+(:data:`~repro.engine.remote.worker.ANNOUNCE_PREFIX`) from its stdout
+to discover the bound port, with a deadline so a worker that dies
+during startup produces a structured error instead of a hang.
+
+SSH workers (``fleet:ssh=host1,host2``) use the same announce
+handshake over ``ssh -o BatchMode=yes``: the remote worker binds
+``0.0.0.0`` and announces its port; the driver then connects directly
+to ``host:port`` (trusted-network assumption, like every MPI launcher).
+The hosts need key-based auth and the repro package importable by the
+remote interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+from urllib.parse import urlsplit
+
+from repro.engine.remote.errors import FleetError
+from repro.engine.remote.worker import ANNOUNCE_PREFIX
+
+#: Wall-clock budget for a launched worker to print its announce line.
+STARTUP_TIMEOUT = 60.0
+
+
+@dataclass
+class WorkerHandle:
+    """One launched (or adopted) worker endpoint."""
+
+    url: str
+    tag: str
+    #: The local subprocess (loopback) or ssh client process; ``None``
+    #: for attached endpoints the fleet does not own.
+    process: Optional[subprocess.Popen] = None
+
+    @property
+    def owned(self) -> bool:
+        return self.process is not None
+
+    def terminate(self) -> None:
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def _worker_env() -> dict:
+    """The subprocess environment, with the repro package importable."""
+    src_dir = str(Path(__file__).resolve().parents[3])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else f"{src_dir}{os.pathsep}{existing}"
+    return env
+
+
+def _read_announce(process: subprocess.Popen, tag: str, timeout: float) -> str:
+    """Read the announce line from a worker's stdout, with a deadline."""
+    assert process.stdout is not None
+    deadline = time.monotonic() + timeout
+    os.set_blocking(process.stdout.fileno(), False)
+    buffer = b""
+    while time.monotonic() < deadline:
+        chunk = process.stdout.read()
+        if chunk:
+            buffer += chunk
+            line, separator, _rest = buffer.partition(b"\n")
+            if separator:
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith(ANNOUNCE_PREFIX):
+                    os.set_blocking(process.stdout.fileno(), True)
+                    return text[len(ANNOUNCE_PREFIX) :]
+                raise FleetError(f"worker {tag} announced garbage: {text!r}")
+        if process.poll() is not None:
+            raise FleetError(
+                f"worker {tag} exited with code {process.returncode} before announcing"
+            )
+        time.sleep(0.02)
+    process.kill()
+    raise FleetError(f"worker {tag} did not announce within {timeout:.0f}s")
+
+
+def launch_local_workers(
+    count: int,
+    cache_dir: Optional[str] = None,
+    startup_timeout: float = STARTUP_TIMEOUT,
+) -> List[WorkerHandle]:
+    """Start ``count`` loopback worker subprocesses; returns their handles."""
+    handles: List[WorkerHandle] = []
+    try:
+        for index in range(count):
+            tag = f"local-{index}"
+            command = [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--tag",
+                tag,
+            ]
+            if cache_dir is not None:
+                command += ["--cache-dir", str(cache_dir)]
+            process = subprocess.Popen(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                env=_worker_env(),
+            )
+            url = _read_announce(process, tag, startup_timeout)
+            handles.append(WorkerHandle(url=url, tag=tag, process=process))
+    except Exception:
+        for handle in handles:
+            handle.terminate()
+        raise
+    return handles
+
+
+def launch_ssh_workers(
+    hosts: List[str],
+    python: str = "python3",
+    cache_dir: Optional[str] = None,
+    startup_timeout: float = STARTUP_TIMEOUT,
+) -> List[WorkerHandle]:
+    """Start one worker per ssh host; returns their handles.
+
+    The worker process on the remote host outlives nothing: killing the
+    local ssh client tears down the remote agent with it (no ``-f``,
+    no nohup), so fleet teardown is a plain :meth:`WorkerHandle.terminate`.
+    """
+    handles: List[WorkerHandle] = []
+    try:
+        for index, host in enumerate(hosts):
+            tag = f"ssh-{index}-{host}"
+            remote = f"{python} -m repro.cli worker --host 0.0.0.0 --port 0 --tag {tag}"
+            if cache_dir is not None:
+                remote += f" --cache-dir {cache_dir}"
+            process = subprocess.Popen(
+                ["ssh", "-o", "BatchMode=yes", host, remote],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+            )
+            announced = _read_announce(process, tag, startup_timeout)
+            # The remote binds 0.0.0.0; the reachable address is the host.
+            port = urlsplit(announced).port
+            handles.append(WorkerHandle(url=f"http://{host}:{port}", tag=tag, process=process))
+    except Exception:
+        for handle in handles:
+            handle.terminate()
+        raise
+    return handles

@@ -247,6 +247,24 @@ def profile_bundle_job(
     )
 
 
+def simulate_cache_key(
+    setup: "ExperimentSetup", mix: "WorkloadMix", machine: "MachineConfig"
+) -> str:
+    """The content key one (mix, machine) reference simulation is cached under.
+
+    Shared between simulate jobs and consumers that *read* detailed
+    results from the cache (the ``learned:`` predictor trains on these
+    entries), so a simulation computed by any path is found by all.
+    """
+    return content_key(
+        "simulate",
+        machine.profile_key(),
+        mix.num_programs,
+        mix.programs,
+        *_config_parts(setup),
+    )
+
+
 def simulate_job(
     setup: "ExperimentSetup",
     mix: "WorkloadMix",
@@ -255,13 +273,7 @@ def simulate_job(
     deps: Tuple[str, ...] = (),
 ) -> Job:
     """Reference-simulate one mix on one machine (result-cached)."""
-    cache_key = content_key(
-        "simulate",
-        machine.profile_key(),
-        mix.num_programs,
-        mix.programs,
-        *_config_parts(setup),
-    )
+    cache_key = simulate_cache_key(setup, mix, machine)
     return Job(
         key=key,
         fn=simulate_task,

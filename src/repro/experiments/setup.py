@@ -150,8 +150,10 @@ class ExperimentSetup:
         Defaults to an engine built from ``jobs`` and ``cache_dir``.
     jobs:
         Worker count for the default engine (1 → serial in-process
-        execution, N → a process pool).  Ignored when ``engine`` is
-        given.
+        execution, N → a process pool), or a ``fleet:`` spec string
+        (``"fleet:localhost:2"``, ``"fleet:ssh=host1,host2"``) for a
+        multi-host worker fleet (see :mod:`repro.engine.remote`).
+        Ignored when ``engine`` is given.
     cache_dir:
         Optional campaign cache directory: single-core profiles persist
         under ``<cache_dir>/profiles`` and engine results (reference
@@ -164,7 +166,7 @@ class ExperimentSetup:
         config: Optional[ExperimentConfig] = None,
         suite: Optional[BenchmarkSuite] = None,
         engine: Optional[Executor] = None,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         workload: Optional[Union[str, WorkloadSource]] = None,
     ) -> None:

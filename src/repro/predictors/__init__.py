@@ -16,6 +16,9 @@ Spec                     Estimator
 ``mppm:figure2``         MPPM (FOA) with the literal Figure 2 update rule
 ``baseline:no-contention`` cache sharing assumed free (single-core CPIs)
 ``baseline:one-shot``    one contention pass, no iterative entanglement
+``hybrid:k=K``           MPPM bulk + detailed spot-checks for the worst K
+``learned:n=N,seed=S``   ridge regression trained on cached detailed runs
+``interp:anchors=A+B``   design-space interpolation from two detailed anchors
 ``detailed``             the detailed shared-LLC reference simulation
 ======================== ==================================================
 
@@ -39,6 +42,8 @@ from repro.predictors.base import Predictor, PredictorError, tag_prediction
 from repro.predictors.baseline import VARIANTS as _BASELINE_VARIANTS, BaselinePredictor
 from repro.predictors.detailed import DetailedSimulationPredictor, prediction_from_run
 from repro.predictors.hybrid import HybridPredictor
+from repro.predictors.interp import InterpolatedPredictor
+from repro.predictors.learned import LearnedPredictor
 from repro.predictors.mppm import MPPMPredictor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,9 +56,16 @@ __all__ = [
     "BaselinePredictor",
     "DetailedSimulationPredictor",
     "HybridPredictor",
+    "InterpolatedPredictor",
+    "LearnedPredictor",
     "DEFAULT_PREDICTOR",
     "DEFAULT_HYBRID_K",
+    "DEFAULT_LEARNED_MIXES",
+    "DEFAULT_LEARNED_SEED",
+    "DEFAULT_INTERP_ANCHORS",
     "hybrid_worst_k",
+    "learned_params",
+    "interp_anchors",
     "available_predictors",
     "canonical_spec",
     "describe_predictors",
@@ -69,6 +81,17 @@ DEFAULT_PREDICTOR = "mppm:foa"
 
 #: Spot-check budget of the bare ``hybrid`` shorthand.
 DEFAULT_HYBRID_K = 4
+
+#: Training-set size and sampling seed of the bare ``learned`` shorthand.
+DEFAULT_LEARNED_MIXES = 24
+DEFAULT_LEARNED_SEED = 0
+
+#: Anchor configurations of the bare ``interp`` shorthand: the Table 2
+#: design-space extremes (smallest and largest LLC).
+DEFAULT_INTERP_ANCHORS = (1, 6)
+
+#: Size of the Table 2 LLC design space (valid interp anchor range).
+_DESIGN_SPACE_SIZE = 6
 
 #: MPPM model variants exposed as their own specs (ablation entries):
 #: variant name -> (MPPMConfig, one-line description).  Both run over
@@ -98,6 +121,13 @@ def _spec_table() -> Mapping[str, str]:
     table[f"hybrid:k={DEFAULT_HYBRID_K}"] = (
         "MPPM for the bulk, detailed spot-checks for each pool's predicted worst-K mixes"
     )
+    table[f"learned:n={DEFAULT_LEARNED_MIXES},seed={DEFAULT_LEARNED_SEED}"] = (
+        "ridge regression over single-core profile features, trained on cached detailed runs"
+    )
+    low, high = DEFAULT_INTERP_ANCHORS
+    table[f"interp:anchors={low}+{high}"] = (
+        "per-program CPI interpolated across the LLC design space from two detailed anchors"
+    )
     table["detailed"] = "detailed shared-LLC multi-core simulation (the reference)"
     return table
 
@@ -122,6 +152,91 @@ def _canonical_hybrid(spec: str, normalised: str) -> str:
     if k < 1:
         raise PredictorError(f"{spec!r}: the hybrid k parameter must be >= 1, got {k}")
     return f"hybrid:k={k}"
+
+
+def _canonical_learned(spec: str, normalised: str) -> str:
+    """Canonicalise ``learned`` / ``learned:n=N,seed=S`` (parametric)."""
+    _, sep, rest = normalised.partition(":")
+    params = {"n": DEFAULT_LEARNED_MIXES, "seed": DEFAULT_LEARNED_SEED}
+    if sep and rest:
+        seen = set()
+        for part in rest.split(","):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if key not in params or not eq or key in seen:
+                raise PredictorError(
+                    f"unknown predictor spec {spec!r}; the learned family takes "
+                    "learned:n=N,seed=S (N training mixes sampled with seed S)"
+                )
+            seen.add(key)
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise PredictorError(
+                    f"{spec!r}: the learned {key} parameter must be an integer, "
+                    f"got {value.strip()!r}"
+                ) from None
+    if params["n"] < 2:
+        raise PredictorError(
+            f"{spec!r}: the learned n parameter must be >= 2 training mixes, "
+            f"got {params['n']}"
+        )
+    if params["seed"] < 0:
+        raise PredictorError(
+            f"{spec!r}: the learned seed must be >= 0, got {params['seed']}"
+        )
+    return f"learned:n={params['n']},seed={params['seed']}"
+
+
+def _canonical_interp(spec: str, normalised: str) -> str:
+    """Canonicalise ``interp`` / ``interp:anchors=A+B`` (parametric)."""
+    _, sep, rest = normalised.partition(":")
+    if not sep or not rest:
+        low, high = DEFAULT_INTERP_ANCHORS
+        return f"interp:anchors={low}+{high}"
+    key, eq, value = rest.partition("=")
+    pieces = value.split("+") if eq else []
+    if key.strip() != "anchors" or len(pieces) != 2:
+        raise PredictorError(
+            f"unknown predictor spec {spec!r}; the interp family takes "
+            "interp:anchors=A+B (two distinct Table 2 configuration numbers)"
+        )
+    try:
+        anchors = sorted(int(piece) for piece in pieces)
+    except ValueError:
+        raise PredictorError(
+            f"{spec!r}: interp anchors must be integers, got {value.strip()!r}"
+        ) from None
+    low, high = anchors
+    if not (1 <= low <= _DESIGN_SPACE_SIZE and 1 <= high <= _DESIGN_SPACE_SIZE):
+        raise PredictorError(
+            f"{spec!r}: interp anchors must be Table 2 configuration numbers "
+            f"in 1..{_DESIGN_SPACE_SIZE}, got {low} and {high}"
+        )
+    if low == high:
+        raise PredictorError(
+            f"{spec!r}: interp needs two distinct anchor configurations, "
+            f"got #{low} twice"
+        )
+    return f"interp:anchors={low}+{high}"
+
+
+def learned_params(spec: str) -> Tuple[int, int]:
+    """(training mixes, seed) of a canonical ``learned:n=N,seed=S`` spec."""
+    canonical = canonical_spec(spec)
+    if not canonical.startswith("learned:"):
+        raise PredictorError(f"{spec!r} is not a learned predictor spec")
+    pairs = dict(part.split("=") for part in canonical.partition(":")[2].split(","))
+    return int(pairs["n"]), int(pairs["seed"])
+
+
+def interp_anchors(spec: str) -> Tuple[int, int]:
+    """The (low, high) anchor pair of a canonical ``interp:anchors=A+B`` spec."""
+    canonical = canonical_spec(spec)
+    if not canonical.startswith("interp:"):
+        raise PredictorError(f"{spec!r} is not an interp predictor spec")
+    low, _, high = canonical.partition("=")[2].partition("+")
+    return int(low), int(high)
 
 
 def hybrid_worst_k(spec: str) -> int:
@@ -150,6 +265,10 @@ def canonical_spec(spec: str) -> str:
     if normalised == "hybrid" or normalised.startswith("hybrid:"):
         # Parametric family: any k >= 1 is valid, not just the listed exemplar.
         return _canonical_hybrid(spec, normalised)
+    if normalised == "learned" or normalised.startswith("learned:"):
+        return _canonical_learned(spec, normalised)
+    if normalised == "interp" or normalised.startswith("interp:"):
+        return _canonical_interp(spec, normalised)
     if normalised not in _spec_table():
         raise PredictorError(
             f"unknown predictor spec {spec!r}; available predictors: "
@@ -192,6 +311,13 @@ def make_predictor(
         return BaselinePredictor(setup, variant=variant)
     if family == "hybrid":
         return HybridPredictor(setup, worst_k=hybrid_worst_k(canonical), spec=canonical)
+    if family == "learned":
+        num_mixes, seed = learned_params(canonical)
+        return LearnedPredictor(setup, num_mixes=num_mixes, seed=seed, spec=canonical)
+    if family == "interp":
+        return InterpolatedPredictor(
+            setup, anchors=interp_anchors(canonical), spec=canonical
+        )
     return DetailedSimulationPredictor(setup)
 
 
@@ -214,11 +340,14 @@ def predictor_requires_traces(spec: str) -> bool:
 
     The engine's parallel warm-up phase uses this to decide whether a
     disk-cached profile is enough or the full (profile, trace) bundle
-    must be simulated before mix jobs fan out.  ``hybrid:*`` needs
-    traces too: its spot-check stage runs the detailed simulator.
+    must be simulated before mix jobs fan out.  ``hybrid:*``,
+    ``learned:*`` and ``interp:*`` need traces too: their spot-check /
+    training / anchor stages all run the detailed simulator.
     """
     canonical = canonical_spec(spec)
-    return canonical == "detailed" or canonical.startswith("hybrid:")
+    return canonical == "detailed" or canonical.startswith(
+        ("hybrid:", "learned:", "interp:")
+    )
 
 
 def describe_predictors() -> List[Tuple[str, str]]:

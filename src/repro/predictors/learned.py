@@ -1,0 +1,202 @@
+"""A learned predictor: ridge regression over single-core profile features.
+
+``learned:n=N,seed=S`` estimates each program's multi-core slowdown
+from its own single-core profile plus aggregate features of its
+co-runners, with weights fitted against detailed reference simulations.
+The training set is ``N`` mixes sampled from the setup's workload
+source (seed ``S``, repetition allowed so small suites still yield
+``N`` rows per program slot); each training mix's detailed run is
+pulled from the engine's persistent :class:`~repro.engine.cache.ResultCache`
+when present — warm sweeps train for free — and stored back under the
+shared simulate content key when it had to be computed, so the next
+consumer (a ``detailed`` sweep, another learned model) finds it.
+
+Per-program features capture the paper's intuition about LLC
+contention: a program suffers in proportion to how memory-bound it is
+(its memory-CPI fraction) and to how much cache pressure its
+co-runners generate (their aggregate miss rate).  The fitted model is
+a deterministic pure function of (suite, machine, N, S): the sampler
+is seeded, the detailed reference is deterministic, and the
+least-squares solve has a unique ridge-regularised solution — so
+predictions are stable across runs, hosts and cache states.
+
+Fitted weights are memoised per (setup, spec, machine, mix size):
+``make_predictor`` constructs a fresh adapter per call, so the memo
+lives in a module-level :class:`weakref.WeakKeyDictionary` keyed by
+the setup rather than on the instance.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import MixPrediction, ProgramPrediction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.machine import MachineConfig
+    from repro.experiments.setup import ExperimentSetup
+    from repro.profiling.profile import SingleCoreProfile
+    from repro.simulators.multi_core import MultiCoreRunResult
+    from repro.workloads.mixes import WorkloadMix
+
+#: Ridge (L2) penalty on the least-squares fit.  Small enough not to
+#: bias the fit, large enough to pin down a unique solution when the
+#: feature matrix is rank-deficient (tiny suites, duplicated mixes).
+RIDGE_LAMBDA = 1e-3
+
+#: Fitted weight vectors, keyed by setup (weakly) then by
+#: (spec, machine profile key, num_programs).
+_MODEL_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _features(
+    own: "SingleCoreProfile", co_runners: Sequence["SingleCoreProfile"]
+) -> List[float]:
+    """Feature vector for one program slot of a mix.
+
+    Own-behaviour terms (CPI, memory-boundedness, miss rate) plus
+    co-runner pressure aggregates and one interaction term: memory-bound
+    programs are the ones hurt by co-runner cache pressure.
+    """
+    co_mpki = sum(p.llc_misses_per_kilo_instruction for p in co_runners)
+    co_mem_fraction = (
+        sum(p.memory_cpi_fraction for p in co_runners) / len(co_runners)
+        if co_runners
+        else 0.0
+    )
+    return [
+        1.0,
+        own.cpi,
+        own.memory_cpi_fraction,
+        own.llc_misses_per_kilo_instruction,
+        co_mpki,
+        co_mem_fraction,
+        own.memory_cpi_fraction * co_mpki,
+    ]
+
+
+class LearnedPredictor:
+    """``learned:n=N,seed=S`` — regression predictor (see module docstring)."""
+
+    def __init__(
+        self, setup: "ExperimentSetup", num_mixes: int, seed: int, spec: str
+    ) -> None:
+        self.setup = setup
+        self.num_mixes = num_mixes
+        self.seed = seed
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def _detailed_run(
+        self, mix: "WorkloadMix", machine: "MachineConfig"
+    ) -> "MultiCoreRunResult":
+        """One training run, pulled from the engine's ResultCache when warm.
+
+        Cache-first keeps training free on a warm cache (e.g. after a
+        ``detailed`` sweep over the same mixes); on a miss the run is
+        computed through the setup's memoised ``simulate`` path and
+        stored back under the shared simulate content key.
+        """
+        # Imported lazily: repro.engine.tasks reaches back into the
+        # predictor registry for cache-key canonicalisation.
+        from repro.engine.cache import MISS
+        from repro.engine.tasks import simulate_cache_key
+
+        key = simulate_cache_key(self.setup, mix, machine)
+        engine = self.setup.engine
+        if engine.cache is not None:
+            cached = engine.cache.get(key)
+            if cached is not MISS:
+                return cached
+        run = self.setup.simulate(mix, machine)
+        engine.store(key, run)
+        return run
+
+    def _fit(self, machine: "MachineConfig", num_programs: int) -> np.ndarray:
+        """Fit the ridge model for one (machine, mix size) pair."""
+        mixes = self.setup.mixes(
+            num_programs, self.num_mixes, seed=self.seed, unique=False
+        )
+        rows: List[List[float]] = []
+        targets: List[float] = []
+        for mix in mixes:
+            run = self._detailed_run(mix, machine)
+            profiles = self.setup.mix_profiles(mix, machine)
+            stats_by_core = {stats.core: stats for stats in run.programs}
+            for core, name in enumerate(mix.programs):
+                own = profiles[name]
+                co = [
+                    profiles[other]
+                    for index, other in enumerate(mix.programs)
+                    if index != core
+                ]
+                rows.append(_features(own, co))
+                stats = stats_by_core[core]
+                targets.append(stats.cpi / stats.isolated_cpi)
+        matrix = np.asarray(rows, dtype=np.float64)
+        observed = np.asarray(targets, dtype=np.float64)
+        # Ridge via an augmented least-squares system: unique solution,
+        # deterministic across numpy versions and BLAS backends.
+        num_features = matrix.shape[1]
+        augmented = np.vstack([matrix, np.sqrt(RIDGE_LAMBDA) * np.eye(num_features)])
+        padded = np.concatenate([observed, np.zeros(num_features)])
+        weights, _, _, _ = np.linalg.lstsq(augmented, padded, rcond=None)
+        return weights
+
+    def _weights(self, machine: "MachineConfig", num_programs: int) -> np.ndarray:
+        models: Dict[Tuple[str, str, int], np.ndarray] = _MODEL_CACHE.setdefault(
+            self.setup, {}
+        )
+        key = (self.spec, machine.profile_key(), num_programs)
+        if key not in models:
+            models[key] = self._fit(machine, num_programs)
+        return models[key]
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, mix: "WorkloadMix", machine: "MachineConfig") -> MixPrediction:
+        if machine.num_cores != mix.num_programs:
+            machine = machine.with_num_cores(mix.num_programs)
+        weights = self._weights(machine, mix.num_programs)
+        profiles = self.setup.mix_profiles(mix, machine)
+        programs = []
+        for core, name in enumerate(mix.programs):
+            own = profiles[name]
+            co = [
+                profiles[other]
+                for index, other in enumerate(mix.programs)
+                if index != core
+            ]
+            # Sharing a cache never speeds a program up in this model:
+            # clip the predicted slowdown at no-contention (1.0).
+            slowdown = max(1.0, float(np.dot(_features(own, co), weights)))
+            programs.append(
+                ProgramPrediction(
+                    name=name,
+                    core=core,
+                    single_core_cpi=own.cpi,
+                    predicted_cpi=slowdown * own.cpi,
+                )
+            )
+        return MixPrediction(
+            machine_name=machine.name,
+            programs=tuple(programs),
+            iterations=0,
+            converged=True,
+            predictor=self.spec,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"ridge regression over single-core profile features, trained on "
+            f"{self.num_mixes} detailed runs (seed {self.seed}) pulled from the "
+            f"result cache"
+        )

@@ -51,8 +51,10 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 0
-    #: Engine worker count (1 → serial; the batcher still coalesces).
-    jobs: int = 1
+    #: Engine worker count (1 → serial; the batcher still coalesces) or
+    #: a ``fleet:`` spec string for a multi-host worker fleet
+    #: (``repro serve --fleet``; see :mod:`repro.engine.remote`).
+    jobs: Union[int, str] = 1
     #: Campaign cache directory; ``None`` keeps memoisation in memory.
     cache_dir: Optional[Union[str, Path]] = None
     #: The workload preloaded at startup and used when a request names none.
@@ -186,6 +188,10 @@ class PredictionService:
     def stats_payload(self) -> Dict:
         payload = self.stats.snapshot()
         payload["engine_cache"] = self.engine.cache_stats()
+        backend = self.engine.backend
+        if hasattr(backend, "stats"):
+            # Fleet backends expose per-worker dispatch/cache counters.
+            payload["fleet"] = backend.stats()
         payload["profiles"] = {
             spec: setup.store.cached_pairs() for spec, setup in sorted(self._setups.items())
         }

@@ -34,6 +34,7 @@ ad-hoc workloads cache consistently across processes.
 from __future__ import annotations
 
 import hashlib
+import re
 from typing import (
     Callable,
     Dict,
@@ -225,11 +226,53 @@ def _parse_family(spec: str, family: str, rest: str) -> Tuple[str, Callable[[], 
     )
 
 
-def _category_subset(category: BenchmarkClass) -> BenchmarkSuite:
-    """The full suite restricted to one MEM/COMP/MIX behaviour class."""
+def _category_subset(categories: Sequence[BenchmarkClass]) -> BenchmarkSuite:
+    """The full suite restricted to a set of MEM/COMP/MIX behaviour classes."""
     full = spec_cpu2006_like_suite()
     classes = classify_suite(full)
-    return full.subset([name for name in full.names if classes[name] is category])
+    wanted = set(categories)
+    return full.subset([name for name in full.names if classes[name] in wanted])
+
+
+#: Canonical category order for set-algebra specs (suite order: the
+#: MEM benchmarks come first in listings, then COMP, then MIX).
+_CATEGORY_ORDER = (BenchmarkClass.MEM, BenchmarkClass.COMP, BenchmarkClass.MIX)
+
+#: Tokens of the category-set grammar; ``all`` is the universe, so
+#: exclusions read naturally (``all-mix`` = everything but MIX).
+_CATEGORY_TOKENS: Dict[str, frozenset] = {
+    "mem": frozenset((BenchmarkClass.MEM,)),
+    "comp": frozenset((BenchmarkClass.COMP,)),
+    "mix": frozenset((BenchmarkClass.MIX,)),
+    "all": frozenset(_CATEGORY_ORDER),
+}
+
+
+def _parse_category_expression(spec: str, expression: str) -> List[BenchmarkClass]:
+    """Evaluate a ``token(±token)*`` category-set expression.
+
+    Tokens are ``mem``/``comp``/``mix``/``all``; ``+`` is set union and
+    ``-`` set exclusion, evaluated left to right (``all-mix`` ≡
+    ``mem+comp``).  Returns the selected classes in canonical order;
+    raises for unknown tokens, dangling operators, or an expression
+    that selects nothing.
+    """
+    parts = re.split(r"([+-])", expression)
+    tokens = [part.strip() for part in parts[::2]]
+    operators = parts[1::2]
+    if any(token not in _CATEGORY_TOKENS for token in tokens):
+        raise _unknown(spec)
+    selected = set(_CATEGORY_TOKENS[tokens[0]])
+    for operator, token in zip(operators, tokens[1:]):
+        if operator == "+":
+            selected |= _CATEGORY_TOKENS[token]
+        else:
+            selected -= _CATEGORY_TOKENS[token]
+    if not selected:
+        raise WorkloadSpecError(
+            f"{spec!r}: the category expression selects no benchmark classes"
+        )
+    return [category for category in _CATEGORY_ORDER if category in selected]
 
 
 def _parse_perf(spec: str, rest: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
@@ -333,28 +376,33 @@ def _parse(spec: str) -> Tuple[str, Callable[[], BenchmarkSuite], str]:
         family, rest = normalised, ""
     if family == "suite":
         base, slash, modifier = rest.partition("/")
-        if base == "spec29" and slash and modifier in ("mem", "comp", "mix"):
-            category = BenchmarkClass(modifier.upper())
-            return (
-                f"suite:spec29/{modifier}",
-                lambda: _category_subset(category),
-                f"the {category.value}-class benchmarks of the SPEC CPU2006-like suite",
-            )
-        if base != "spec29" or not slash or not modifier.startswith("scaled@"):
+        if base != "spec29" or not slash or not modifier:
             raise _unknown(spec)
-        try:
-            count = int(modifier[len("scaled@"):])
-        except ValueError:
-            raise _unknown(spec) from None
-        if count <= 0:
-            raise WorkloadSpecError(f"{spec!r}: the scaled@N count must be positive")
-        if count >= 29:
-            # Scaling to the full size (or beyond) IS the full suite.
+        if modifier.startswith("scaled@"):
+            try:
+                count = int(modifier[len("scaled@"):])
+            except ValueError:
+                raise _unknown(spec) from None
+            if count <= 0:
+                raise WorkloadSpecError(f"{spec!r}: the scaled@N count must be positive")
+            if count >= 29:
+                # Scaling to the full size (or beyond) IS the full suite.
+                return _parse(DEFAULT_WORKLOAD)
+            return (
+                f"suite:spec29/scaled@{count}",
+                lambda: small_suite(count),
+                f"a curated {count}-benchmark spread of the SPEC CPU2006-like suite's behaviours",
+            )
+        categories = _parse_category_expression(spec, modifier)
+        if len(categories) == len(_CATEGORY_ORDER):
+            # Selecting every class IS the full suite.
             return _parse(DEFAULT_WORKLOAD)
+        canonical_modifier = "+".join(category.value.lower() for category in categories)
+        label = "/".join(category.value for category in categories)
         return (
-            f"suite:spec29/scaled@{count}",
-            lambda: small_suite(count),
-            f"a curated {count}-benchmark spread of the SPEC CPU2006-like suite's behaviours",
+            f"suite:spec29/{canonical_modifier}",
+            lambda: _category_subset(categories),
+            f"the {label}-class benchmarks of the SPEC CPU2006-like suite",
         )
     if family in ("random", "service"):
         return _parse_family(spec, family, rest)
@@ -404,6 +452,11 @@ _FAMILY_ROWS: Tuple[Tuple[str, str, str], ...] = (
         "suite:spec29/mem",
         "suite:spec29/{mem|comp|mix}",
         "the suite restricted to one MEM/COMP/MIX behaviour class",
+    ),
+    (
+        "suite:spec29/mem+comp",
+        "suite:spec29/<cats>±<cats>",
+        "category-set algebra over mem/comp/mix/all: + unions, - excludes (all-mix = mem+comp)",
     ),
     (
         "perf:tests/data/perf_ingest_samples.csv",

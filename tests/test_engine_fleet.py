@@ -1,0 +1,351 @@
+"""Tests for the distributed fleet backend (``fleet:`` specs).
+
+The contract pinned here: the fleet spec grammar accepts the three
+worker sources (``localhost:N``, ``ssh=...``, ``attach=...``) and
+rejects malformed specs with structured errors; a loopback fleet is
+bit-identical to serial execution (library sweeps *and* the CLI stress
+experiment); a warm fleet recomputes nothing (zero cache stores, zero
+dispatches); a worker's cache is honoured across drivers
+(remote-cache pinning — no host recomputes another host's job); and
+every failure mode — worker killed mid-wave, rogue worker answering
+garbage, endpoint unreachable at startup, a job raising on a worker —
+either completes on the survivors or surfaces as a structured
+:class:`FleetError` / :class:`FleetJobError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.engine import Executor, Job
+from repro.engine.remote import (
+    DEFAULT_JOB_TIMEOUT,
+    FleetBackend,
+    FleetError,
+    FleetJobError,
+    FleetSpecError,
+    launch_local_workers,
+    normalize_fleet_flag,
+    parse_fleet_spec,
+)
+from repro.experiments import ExperimentConfig, ExperimentSetup
+from repro.workloads import small_suite
+
+CONFIG = ExperimentConfig(scale=16, num_instructions=20_000, interval_instructions=1_000)
+
+
+def fleet_setup(**kwargs) -> ExperimentSetup:
+    return ExperimentSetup(config=CONFIG, suite=small_suite(5), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar
+# ---------------------------------------------------------------------------
+
+
+class TestFleetSpec:
+    def test_localhost_spec(self):
+        spec = parse_fleet_spec("fleet:localhost:2")
+        assert spec.kind == "localhost"
+        assert spec.count == 2 and spec.num_workers == 2
+        assert spec.job_timeout == DEFAULT_JOB_TIMEOUT
+        assert spec.canonical == "fleet:localhost:2"
+
+    def test_ssh_spec(self):
+        spec = parse_fleet_spec("fleet:ssh=host1,host2,python=python3.11")
+        assert spec.kind == "ssh"
+        assert spec.hosts == ("host1", "host2") and spec.num_workers == 2
+        assert spec.python == "python3.11"
+
+    def test_attach_spec(self):
+        spec = parse_fleet_spec("fleet:attach=10.0.0.1:8001+10.0.0.2:8001")
+        assert spec.kind == "attach"
+        assert spec.hosts == ("10.0.0.1:8001", "10.0.0.2:8001")
+        assert spec.num_workers == 2
+
+    def test_timeout_option(self):
+        spec = parse_fleet_spec("fleet:localhost:4,timeout=900")
+        assert spec.job_timeout == 900.0
+        assert spec.canonical == "fleet:localhost:4,timeout=900"
+
+    def test_cli_flag_accepts_bare_and_prefixed_forms(self):
+        assert normalize_fleet_flag("localhost:2") == "fleet:localhost:2"
+        assert normalize_fleet_flag("fleet:localhost:2") == "fleet:localhost:2"
+        assert normalize_fleet_flag("ssh=a,b") == "fleet:ssh=a,b"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "fleet:",
+            "fleet:localhost",
+            "fleet:localhost:0",
+            "fleet:localhost:x",
+            "fleet:bogus:2",
+            "fleet:ssh=",
+            "fleet:attach=",
+            "fleet:attach=hostonly",
+            "fleet:localhost:2,timeout=x",
+            "fleet:localhost:2,timeout=-1",
+        ],
+    )
+    def test_malformed_specs_are_rejected(self, bad):
+        with pytest.raises(FleetSpecError):
+            parse_fleet_spec(bad)
+
+    def test_non_fleet_string_is_rejected(self):
+        with pytest.raises(FleetSpecError):
+            parse_fleet_spec("localhost:2")
+
+
+# ---------------------------------------------------------------------------
+# Loopback execution: bit-identity, warm-fleet dedup, observability
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def serial():
+    setup = fleet_setup()
+    yield setup
+    setup.close()
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    setup = fleet_setup(
+        jobs="fleet:localhost:2", cache_dir=tmp_path_factory.mktemp("fleet-cache")
+    )
+    yield setup
+    setup.close()
+
+
+@pytest.fixture(scope="module")
+def mixes(serial):
+    return serial.mixes(2, 6, seed=3)
+
+
+class TestLoopbackFleet:
+    def test_predictions_are_bit_identical_to_serial(self, serial, fleet, mixes):
+        machine = serial.machine(num_cores=2)
+        assert fleet.predict_many(mixes, machine) == serial.predict_many(mixes, machine)
+
+    def test_simulations_are_bit_identical_to_serial(self, serial, fleet, mixes):
+        machine = serial.machine(num_cores=2)
+        for ours, theirs in zip(
+            fleet.simulate_many(mixes, machine), serial.simulate_many(mixes, machine)
+        ):
+            assert ours.to_dict() == theirs.to_dict()
+
+    def test_warm_fleet_recomputes_nothing(self, fleet, mixes):
+        machine = fleet.machine(num_cores=2)
+        first = fleet.predict_many(mixes, machine)
+        stores = fleet.engine.cache.stores
+        dispatched = fleet.engine.backend.stats()["dispatched"]
+        again = fleet.predict_many(mixes, machine)
+        assert again == first
+        # Every job resolved from the driver's cache: nothing stored,
+        # nothing even dispatched to a worker.
+        assert fleet.engine.cache.stores == stores
+        assert fleet.engine.backend.stats()["dispatched"] == dispatched
+
+    def test_stats_expose_per_worker_counters(self, fleet, mixes):
+        machine = fleet.machine(num_cores=2)
+        fleet.predict_many(mixes, machine)
+        stats = fleet.engine.backend.stats()
+        assert stats["spec"] == "fleet:localhost:2"
+        assert stats["alive"] == 2 and len(stats["workers"]) == 2
+        assert stats["waves"] >= 1
+        assert stats["completed"] == stats["dispatched"]
+        for worker in stats["workers"]:
+            assert worker["tag"] and worker["url"].startswith("http://127.0.0.1:")
+
+    def test_workers_answer_from_their_caches_across_drivers(self, tmp_path):
+        # Two drivers, no driver-side cache, sharing one fleet whose
+        # workers persist results: the second driver's jobs are all
+        # answered from worker caches — no host recomputes another
+        # host's job.
+        backend = FleetBackend("fleet:localhost:2", cache_dir=str(tmp_path))
+        try:
+            cold = ExperimentSetup(
+                config=CONFIG, suite=small_suite(5), engine=Executor(backend=backend)
+            )
+            mixes = cold.mixes(2, 3, seed=5)
+            machine = cold.machine(num_cores=2)
+            first = [run.to_dict() for run in cold.simulate_many(mixes, machine)]
+            assert backend.stats()["remote_cache_hits"] == 0
+            warm = ExperimentSetup(
+                config=CONFIG, suite=small_suite(5), engine=Executor(backend=backend)
+            )
+            second = [
+                run.to_dict()
+                for run in warm.simulate_many(
+                    warm.mixes(2, 3, seed=5), warm.machine(num_cores=2)
+                )
+            ]
+            assert second == first
+            # Every simulate job of the second driver was answered from
+            # a worker's cache (profile warm-up jobs carry no content
+            # key, so they are the only recomputation).
+            assert backend.stats()["remote_cache_hits"] == len(mixes)
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Failure paths
+# ---------------------------------------------------------------------------
+
+
+class _RogueHandler(BaseHTTPRequestHandler):
+    """Answers health checks, then returns garbage to every /run."""
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        payload = json.dumps({"status": "ok"}).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_POST(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        garbage = b"this is not json"
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(garbage)))
+        self.end_headers()
+        self.wfile.write(garbage)
+
+    def log_message(self, *args):  # silence
+        pass
+
+
+@pytest.fixture()
+def rogue_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _RogueHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    thread.join()
+
+
+def _arith_jobs(count: int):
+    return [
+        Job(key=f"add-{index}", fn=operator.add, args=(index, 100)) for index in range(count)
+    ]
+
+
+class TestFleetFailures:
+    def test_unreachable_endpoint_fails_fast_and_structured(self):
+        # A port nothing listens on: startup must raise, not hang.
+        started = time.monotonic()
+        with pytest.raises(FleetError) as excinfo:
+            FleetBackend("fleet:attach=127.0.0.1:9")
+        assert time.monotonic() - started < 30
+        assert "unreachable" in str(excinfo.value)
+
+    def test_rogue_worker_is_retired_and_its_jobs_reassigned(self, rogue_server):
+        [handle] = launch_local_workers(1)
+        backend = None
+        try:
+            backend = FleetBackend(
+                f"fleet:attach={rogue_server}+{handle.url[len('http://'):]}"
+            )
+            results = backend.run(_arith_jobs(6))
+            assert results == [100, 101, 102, 103, 104, 105]
+            stats = backend.stats()
+            assert stats["alive"] == 1
+            assert stats["failures"] >= 1
+            rogue = stats["workers"][0]
+            assert not rogue["alive"] and rogue["last_error"]
+        finally:
+            if backend is not None:
+                backend.close()
+            handle.terminate()
+
+    def test_job_exception_propagates_and_fleet_survives(self):
+        backend = FleetBackend("fleet:localhost:1")
+        try:
+            with pytest.raises(FleetJobError) as excinfo:
+                backend.run(
+                    [Job(key="boom", fn=operator.truediv, args=(1.0, 0.0))]
+                )
+            assert "ZeroDivisionError" in str(excinfo.value)
+            # A deterministic job failure is not a worker failure: the
+            # fleet stays usable for the next wave.
+            assert backend.stats()["alive"] == 1
+            assert backend.run(_arith_jobs(2)) == [100, 101]
+        finally:
+            backend.close()
+
+    def test_worker_killed_mid_wave_completes_on_survivor(self):
+        setup = fleet_setup(jobs="fleet:localhost:2")
+        try:
+            backend = setup.engine.backend
+            victim = backend._slots[0].handle.process
+            # Fresh (uncached) simulations keep the wave busy long
+            # enough for the kill to land mid-flight.
+            mixes = setup.mixes(2, 6, seed=11)
+            machine = setup.machine(num_cores=2)
+            timer = threading.Timer(0.05, victim.send_signal, args=(signal.SIGKILL,))
+            timer.start()
+            try:
+                fleet_runs = [run.to_dict() for run in setup.simulate_many(mixes, machine)]
+            finally:
+                timer.cancel()
+        finally:
+            setup.close()
+        reference = fleet_setup()
+        try:
+            serial_runs = [
+                run.to_dict()
+                for run in reference.simulate_many(
+                    reference.mixes(2, 6, seed=11), reference.machine(num_cores=2)
+                )
+            ]
+        finally:
+            reference.close()
+        assert fleet_runs == serial_runs
+
+
+# ---------------------------------------------------------------------------
+# CLI: the stress experiment, serial vs fleet
+# ---------------------------------------------------------------------------
+
+
+class TestFleetCLI:
+    @staticmethod
+    def _strip_timing(output: str) -> str:
+        return "\n".join(
+            line for line in output.splitlines() if "finished in" not in line
+        )
+
+    def test_stress_run_is_bit_identical_to_serial(self, capsys):
+        from repro.cli import main
+
+        base = [
+            "run",
+            "--experiment",
+            "stress",
+            "--benchmarks",
+            "5",
+            "--instructions",
+            "20000",
+            "--scale",
+            "16",
+            "--mixes",
+            "4",
+            "--model",
+            "mppm:foa",
+        ]
+        assert main(base) == 0
+        serial_out = self._strip_timing(capsys.readouterr().out)
+        assert main([*base, "--fleet", "localhost:2"]) == 0
+        fleet_out = self._strip_timing(capsys.readouterr().out)
+        assert fleet_out == serial_out

@@ -322,6 +322,67 @@ class TestTraceGenerationThroughRegistry:
                 )
 
 
+class TestCategoryAlgebra:
+    """``suite:spec29/<cats>`` set algebra: ``+`` unions, ``-`` excludes."""
+
+    def test_canonical_form_orders_categories(self):
+        assert canonical_workload_spec("suite:spec29/comp+mem") == "suite:spec29/mem+comp"
+        assert canonical_workload_spec("suite:spec29/ MEM + COMP ".replace(" ", "")) == (
+            "suite:spec29/mem+comp"
+        )
+
+    def test_all_minus_mix_equals_mem_plus_comp(self):
+        assert canonical_workload_spec("suite:spec29/all-mix") == "suite:spec29/mem+comp"
+        union = make_workload("suite:spec29/mem+comp")
+        excluded = make_workload("suite:spec29/all-mix")
+        assert excluded.suite().specs == union.suite().specs
+
+    def test_full_selections_collapse_to_the_plain_suite(self):
+        assert canonical_workload_spec("suite:spec29/all") == DEFAULT_WORKLOAD
+        assert canonical_workload_spec("suite:spec29/mem+comp+mix") == DEFAULT_WORKLOAD
+
+    def test_double_exclusion_leaves_one_category(self):
+        assert canonical_workload_spec("suite:spec29/all-mem-comp") == "suite:spec29/mix"
+
+    def test_union_suite_is_the_union_of_the_subsets(self):
+        union = make_workload("suite:spec29/mem+comp").suite()
+        mem = make_workload("suite:spec29/mem").suite()
+        comp = make_workload("suite:spec29/comp").suite()
+        assert sorted(union.names) == sorted(mem.names + comp.names)
+        classes = classify_suite(union)
+        assert set(classes.values()) == {BenchmarkClass.MEM, BenchmarkClass.COMP}
+
+    def test_algebra_suites_sample_their_own_mixes(self):
+        workload = make_workload("suite:spec29/mem+comp")
+        classes = classify_suite(workload.suite())
+        for mix in workload.mixes(2, 4, seed=3):
+            assert all(
+                classes[name] in (BenchmarkClass.MEM, BenchmarkClass.COMP)
+                for name in mix.programs
+            )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "suite:spec29/mem-mem",      # empty selection
+            "suite:spec29/all-mem-comp-mix",
+            "suite:spec29/bogus",
+            "suite:spec29/mem+bogus",
+            "suite:spec29/mem+",         # dangling operator
+            "suite:spec29/-mem",
+            "suite:spec29/",
+        ],
+    )
+    def test_malformed_expressions_are_rejected(self, bad):
+        with pytest.raises(WorkloadSpecError):
+            make_workload(bad)
+
+    def test_algebra_specs_are_advertised(self):
+        rows = dict(describe_workloads())
+        assert "suite:spec29/<cats>±<cats>" in rows
+        assert "union" in rows["suite:spec29/<cats>±<cats>"]
+
+
 class TestCategoryMixes:
     """`category=` on WorkloadSource.mixes — "current practice" sampling."""
 
